@@ -1,0 +1,39 @@
+"""Benchmark configuration.
+
+Figure benchmarks regenerate one paper table/figure per test: the
+benchmark timer wraps the whole experiment, the rendered ASCII table is
+attached to ``extra_info`` and echoed to stdout (run with ``-s`` to see
+them), and shape assertions encode the paper's qualitative result.
+
+Scale knobs are kept modest so the full suite completes in minutes; crank
+``REPRO_BENCH_JOBS`` up for tighter confidence intervals.
+"""
+
+import os
+
+import pytest
+
+#: Number of jobs per scheme run in figure benchmarks (env-overridable).
+BENCH_JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "250"))
+#: Jobs for the (slower) full-cluster Fig. 8 benchmark.
+BENCH_CLUSTER_JOBS = int(os.environ.get("REPRO_BENCH_CLUSTER_JOBS", "120"))
+#: Files in the catalogue.
+BENCH_FILES = int(os.environ.get("REPRO_BENCH_FILES", "100"))
+#: Seed for every figure benchmark.
+BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", "42"))
+
+
+@pytest.fixture(scope="session")
+def bench_scale():
+    return {
+        "jobs": BENCH_JOBS,
+        "cluster_jobs": BENCH_CLUSTER_JOBS,
+        "files": BENCH_FILES,
+        "seed": BENCH_SEED,
+    }
+
+
+def attach_report(benchmark, report: str) -> None:
+    """Store a rendered table on the benchmark and echo it."""
+    benchmark.extra_info["report"] = report
+    print("\n" + report)

@@ -1,0 +1,66 @@
+"""Ablation — the update-freeze state of Pseudocode 2.
+
+§4.2: freshly (re)estimated bandwidths are frozen so that "a flow's
+recently updated bandwidth state can[not] be overwritten too soon in the
+next flow stats collection cycle", which "will invalidate the previous
+estimates and lead to incorrect calculations for the forthcoming flows".
+
+This ablation disables the freeze and compares against the default.  The
+effect is workload-dependent (it needs selections landing between polls),
+so the assertion is a guard band: freezing must not *hurt*.
+"""
+
+from conftest import attach_report
+
+from repro.core.flowserver import FlowserverConfig
+from repro.experiments.metrics import summarize
+from repro.experiments.runner import (
+    SchemeRunConfig,
+    completion_times,
+    run_scheme_on_workload,
+)
+from repro.net import three_tier
+from repro.workload import LocalityDistribution, WorkloadConfig, generate_workload
+
+
+def _run(num_jobs, seed, freeze):
+    topo = three_tier()
+    workload = generate_workload(
+        topo,
+        WorkloadConfig(
+            num_files=100,
+            num_jobs=num_jobs,
+            arrival_rate_per_server=0.12,
+            locality=LocalityDistribution(0.2, 0.3, 0.5),
+        ),
+        seed=seed,
+    )
+    config = SchemeRunConfig(
+        flowserver=FlowserverConfig(enable_freeze=freeze, poll_interval=2.0)
+    )
+    return summarize(
+        completion_times(run_scheme_on_workload("mayflower", workload, config, seed=seed))
+    )
+
+
+def test_update_freeze(benchmark, bench_scale):
+    num_jobs = max(100, bench_scale["jobs"] // 2)
+    seed = bench_scale["seed"]
+
+    def run_both():
+        return {
+            "freeze": _run(num_jobs, seed, freeze=True),
+            "no_freeze": _run(num_jobs, seed, freeze=False),
+        }
+
+    results = benchmark.pedantic(run_both, iterations=1, rounds=1)
+    frozen, thawed = results["freeze"], results["no_freeze"]
+    report = (
+        "Ablation: Pseudocode 2 update-freeze\n"
+        f"  freeze on   mean={frozen.mean:.2f}s p95={frozen.p95:.2f}s\n"
+        f"  freeze off  mean={thawed.mean:.2f}s p95={thawed.p95:.2f}s"
+    )
+    attach_report(benchmark, report)
+
+    assert frozen.mean <= thawed.mean * 1.05
+    assert frozen.p95 <= thawed.p95 * 1.10

@@ -1,0 +1,47 @@
+"""Figure 4 — replica/path selection comparison (§6.3).
+
+Paper: with locality (0.5, 0.3, 0.2) and λ=0.07, the baselines need
+1.42x–3.42x Mayflower's average completion time, and up to 12.4x at the
+95th percentile.  Shape assertions: Mayflower strictly best on both
+metrics; Sinbad-based schemes beat Nearest-based ones; p95 gaps exceed
+mean gaps for the static schemes.
+"""
+
+from conftest import attach_report
+
+from repro.experiments.figures import figure4
+from repro.experiments.report import render_figure4
+
+
+def test_figure4(benchmark, bench_scale):
+    result = benchmark.pedantic(
+        figure4,
+        kwargs=dict(
+            seed=bench_scale["seed"],
+            num_jobs=bench_scale["jobs"],
+            num_files=bench_scale["files"],
+        ),
+        iterations=1,
+        rounds=1,
+    )
+    attach_report(benchmark, render_figure4(result))
+
+    schemes = result["schemes"]
+    mean = {name: s["mean_s"] for name, s in schemes.items()}
+    p95 = {name: s["p95_s"] for name, s in schemes.items()}
+
+    # Mayflower wins on both metrics.
+    assert mean["mayflower"] == min(mean.values())
+    assert p95["mayflower"] == min(p95.values())
+
+    # Dynamic (Sinbad) replica selection beats static (Nearest).
+    assert mean["sinbad-mayflower"] < mean["nearest-mayflower"]
+    assert mean["sinbad-ecmp"] < mean["nearest-ecmp"]
+
+    # Baselines need well over Mayflower's time (paper: 1.42x-3.42x).
+    for name in ("sinbad-mayflower", "sinbad-ecmp", "nearest-mayflower", "nearest-ecmp"):
+        assert schemes[name]["mean_normalized"] > 1.3, name
+
+    # Stragglers: nearest-based p95 blows up far beyond its mean gap
+    # (paper: 12.4x at p95 vs 3.4x at mean).
+    assert schemes["nearest-ecmp"]["p95_normalized"] > schemes["nearest-ecmp"]["mean_normalized"]

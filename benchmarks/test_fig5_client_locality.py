@@ -1,0 +1,47 @@
+"""Figure 5 — impact of client locality (§6.4).
+
+Paper: Mayflower is best under all four locality distributions
+(0.5,0.3,0.2), (0.3,0.5,0.2), (0.2,0.3,0.5), (⅓,⅓,⅓); the gap between
+the *-Mayflower and *-ECMP variants widens when half the clients traverse
+the heavily-oversubscribed core tier.
+"""
+
+from conftest import attach_report
+
+from repro.experiments.figures import figure5
+from repro.experiments.report import render_figure5
+
+
+def test_figure5(benchmark, bench_scale):
+    result = benchmark.pedantic(
+        figure5,
+        kwargs=dict(
+            seed=bench_scale["seed"],
+            num_jobs=max(100, bench_scale["jobs"] // 2),
+            num_files=bench_scale["files"],
+        ),
+        iterations=1,
+        rounds=1,
+    )
+    attach_report(benchmark, render_figure5(result))
+
+    for label, schemes in result["groups"].items():
+        mean = {name: s["mean_s"] for name, s in schemes.items()}
+        # Mayflower consistently outperforms in every locality group.
+        assert mean["mayflower"] == min(mean.values()), label
+        for name, stats in schemes.items():
+            if name != "mayflower":
+                assert stats["mean_normalized"] >= 1.0, (label, name)
+
+    # Core-heavy locality (0.2, 0.3, 0.5): path selection matters most —
+    # Mayflower-scheduled variants beat their ECMP counterparts (§6.4:
+    # "shows the strength of Mayflower's path selection method").
+    core_heavy = result["groups"]["(0.2, 0.3, 0.5)"]
+    assert (
+        core_heavy["nearest-mayflower"]["mean_s"]
+        <= core_heavy["nearest-ecmp"]["mean_s"] * 1.05
+    )
+    assert (
+        core_heavy["sinbad-mayflower"]["mean_s"]
+        <= core_heavy["sinbad-ecmp"]["mean_s"] * 1.05
+    )

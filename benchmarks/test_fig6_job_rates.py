@@ -1,0 +1,65 @@
+"""Figure 6 — impact of high job arrival rates (§6.5).
+
+Paper: all methods do fine at low λ; as λ grows, completion times of the
+baselines grow quickly while Mayflower's rises only modestly (sub-linear
+scalability), and the Nearest-based methods eventually "start failing"
+(the system never drains).  Shape assertions: monotone-ish growth in λ,
+Mayflower best at the top rate, and a widening gap.
+"""
+
+from conftest import attach_report
+
+from repro.experiments.figures import figure6
+from repro.experiments.report import render_figure6
+
+
+def test_figure6(benchmark, bench_scale):
+    result = benchmark.pedantic(
+        figure6,
+        kwargs=dict(
+            seed=bench_scale["seed"],
+            num_jobs=max(100, bench_scale["jobs"] // 2),
+            num_files=bench_scale["files"],
+            rates_a=(0.06, 0.10, 0.14),
+            rates_b=(0.06, 0.08, 0.10),
+        ),
+        iterations=1,
+        rounds=1,
+    )
+    attach_report(benchmark, render_figure6(result))
+
+    for panel_name, panel in result["panels"].items():
+        curves = panel["curves"]
+        rates = sorted(curves["mayflower"])
+
+        # Mayflower finishes every configuration (never saturates).
+        assert all(curves["mayflower"][r] is not None for r in rates), panel_name
+
+        # Mayflower has the lowest mean at every rate (among survivors).
+        for rate in rates:
+            survivors = {
+                s: pts[rate]["mean_s"]
+                for s, pts in curves.items()
+                if pts.get(rate) is not None
+            }
+            assert survivors["mayflower"] == min(survivors.values()), (panel_name, rate)
+
+        # Load hurts: every surviving scheme's mean grows from the lowest
+        # to the highest rate.
+        low, top = rates[0], rates[-1]
+        for scheme, points in curves.items():
+            if points.get(top) is not None:
+                assert points[top]["mean_s"] > points[low]["mean_s"] * 0.95, (
+                    panel_name, scheme
+                )
+
+        # The absolute Mayflower-vs-nearest gap does not shrink with load
+        # (or nearest saturated outright — the strongest form of the claim).
+        nearest_top = curves["nearest-ecmp"].get(top)
+        if nearest_top is not None:
+            gap_low = (
+                curves["nearest-ecmp"][low]["mean_s"]
+                - curves["mayflower"][low]["mean_s"]
+            )
+            gap_top = nearest_top["mean_s"] - curves["mayflower"][top]["mean_s"]
+            assert gap_top > gap_low * 0.8, panel_name

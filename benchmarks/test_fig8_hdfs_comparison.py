@@ -1,0 +1,46 @@
+"""Figure 8 — prototype comparison with HDFS (§6.7).
+
+Unlike Figs. 4–7 this drives the *full DFS stack*: real nameserver RPCs,
+client metadata caching, Flowserver RPCs, dataserver reads.  Paper (at
+λ=0.06/0.07/0.08): Mayflower 2.91/3.09/3.36 s vs HDFS-Mayflower
+8.93/13.2/11.3 s vs HDFS-ECMP 13.4/14.9/16 s.  Shape assertions:
+Mayflower several times faster than both HDFS variants; its completion
+time grows only mildly with λ; network-aware path scheduling alone
+(HDFS-Mayflower) does not close the gap — co-design is what matters.
+"""
+
+from conftest import attach_report
+
+from repro.experiments.figures import figure8
+from repro.experiments.report import render_figure8
+
+
+def test_figure8(benchmark, bench_scale):
+    result = benchmark.pedantic(
+        figure8,
+        kwargs=dict(
+            seed=bench_scale["seed"],
+            num_jobs=bench_scale["cluster_jobs"],
+            num_files=max(40, bench_scale["files"] // 2),
+            rates=(0.06, 0.07, 0.08),
+        ),
+        iterations=1,
+        rounds=1,
+    )
+    attach_report(benchmark, render_figure8(result))
+
+    curves = result["curves"]
+    for rate in (0.06, 0.07, 0.08):
+        mayflower = curves["mayflower"][rate]["mean_s"]
+        hdfs_mf = curves["hdfs-mayflower"][rate]["mean_s"]
+        hdfs_ecmp = curves["hdfs-ecmp"][rate]["mean_s"]
+        # Mayflower is far ahead of both HDFS configurations (paper: ~3-5x).
+        assert hdfs_mf > mayflower * 1.5, rate
+        assert hdfs_ecmp > mayflower * 1.5, rate
+        # Path scheduling alone never beats full co-design.
+        assert hdfs_mf >= mayflower, rate
+
+    # Mayflower degrades gracefully across the sweep ("small increase in
+    # the completion time as the job arrival rate grows").
+    mf = [curves["mayflower"][r]["mean_s"] for r in (0.06, 0.07, 0.08)]
+    assert mf[2] < mf[0] * 3

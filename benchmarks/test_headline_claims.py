@@ -1,0 +1,40 @@
+"""Abstract / §7 headline claims, checked against a fresh Fig. 4 run.
+
+* ">25% lower average read completion time than current state-of-the-art
+  distributed filesystems with an independent network flow scheduler";
+* ">80% compared to HDFS with ECMP" (shape band ≥60% on our substrate);
+* "existing systems require 1.5x the completion time compared to
+  Mayflower" (every baseline ≥1.3x here).
+"""
+
+from conftest import attach_report
+
+from repro.experiments.claims import (
+    check_headline_claims,
+    check_ordering,
+    render_claims,
+)
+from repro.experiments.figures import figure4
+
+
+def test_headline_claims(benchmark, bench_scale):
+    result = benchmark.pedantic(
+        figure4,
+        kwargs=dict(
+            seed=bench_scale["seed"] + 1,
+            num_jobs=bench_scale["jobs"],
+            num_files=bench_scale["files"],
+        ),
+        iterations=1,
+        rounds=1,
+    )
+    checks = check_headline_claims(result)
+    attach_report(benchmark, render_claims(checks))
+
+    for check in checks:
+        assert check.holds, f"claim failed: {check.claim} (measured {check.measured:.2f})"
+
+    ordering = check_ordering(result)
+    assert ordering["mayflower_is_best"]
+    assert ordering["sinbad_beats_nearest"]
+    assert ordering["informed_paths_no_worse"]

@@ -1,0 +1,66 @@
+"""Extension bench — a Hedera-style global flow scheduler as a baseline.
+
+§1's argument: "flow schedulers are limited to finding the least
+congested path between the requester and the pre-selected replica.
+Therefore, they are unable to take advantage of redundancies in the
+distributed filesystem, which makes them ineffective when all paths
+between the requester and the pre-selected replica are congested."
+
+This bench measures that argument directly: Nearest + Hedera (periodic
+global first-fit rescheduling of elephants) against Nearest + ECMP and
+against Mayflower.  Hedera should improve on oblivious ECMP, but the
+co-designed system should beat both.
+"""
+
+from conftest import attach_report
+
+from repro.experiments.metrics import summarize
+from repro.experiments.runner import (
+    SchemeRunConfig,
+    completion_times,
+    run_scheme_on_workload,
+)
+from repro.net import three_tier
+from repro.workload import LocalityDistribution, WorkloadConfig, generate_workload
+
+
+def test_hedera_baseline(benchmark, bench_scale):
+    num_jobs = max(120, bench_scale["jobs"] // 2)
+    seed = bench_scale["seed"]
+    topo = three_tier()
+    # Core-heavy locality: multipath rescheduling has room to help.
+    workload = generate_workload(
+        topo,
+        WorkloadConfig(
+            num_files=bench_scale["files"],
+            num_jobs=num_jobs,
+            arrival_rate_per_server=0.08,
+            locality=LocalityDistribution(0.2, 0.3, 0.5),
+        ),
+        seed=seed,
+    )
+    config = SchemeRunConfig(hedera_interval=2.0)
+
+    def run_all():
+        return {
+            scheme: summarize(
+                completion_times(
+                    run_scheme_on_workload(scheme, workload, config, seed=seed)
+                )
+            )
+            for scheme in ("mayflower", "nearest-hedera", "nearest-ecmp")
+        }
+
+    results = benchmark.pedantic(run_all, iterations=1, rounds=1)
+    lines = ["Extension: Hedera-style global flow scheduler baseline"]
+    for scheme, stats in results.items():
+        lines.append(
+            f"  {scheme:15s} mean={stats.mean:6.2f}s p95={stats.p95:7.2f}s"
+        )
+    attach_report(benchmark, "\n".join(lines))
+
+    # Hedera helps over oblivious ECMP…
+    assert results["nearest-hedera"].mean <= results["nearest-ecmp"].mean * 1.02
+    # …but cannot reach co-design: replica choice is off the table.
+    assert results["mayflower"].mean < results["nearest-hedera"].mean
+    assert results["mayflower"].p95 < results["nearest-hedera"].p95

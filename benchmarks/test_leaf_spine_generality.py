@@ -1,0 +1,58 @@
+"""Generality bench — the co-design result on a leaf-spine fabric.
+
+The paper evaluates on a 3-tier tree; its related work (§2.2) notes that
+other topologies raise bisection bandwidth but "oversubscribed multi-tier
+hierarchical topologies are still prevalent".  Mayflower's algorithm is
+topology-agnostic, so this bench repeats the Fig. 4-style comparison on a
+2:1-oversubscribed leaf-spine fabric (8 leaves × 8 hosts, 4 spines).
+"""
+
+from conftest import attach_report
+
+from repro.experiments.metrics import summarize
+from repro.experiments.runner import (
+    SchemeRunConfig,
+    completion_times,
+    run_scheme_on_workload,
+)
+from repro.net import leaf_spine
+from repro.workload import LocalityDistribution, WorkloadConfig, generate_workload
+
+
+def test_leaf_spine_comparison(benchmark, bench_scale):
+    num_jobs = max(120, bench_scale["jobs"] // 2)
+    seed = bench_scale["seed"]
+    topo = leaf_spine(leaves=8, spines=4, hosts_per_leaf=8, oversubscription=2.0)
+    # leaf-spine has no pod/rack distinction, so locality collapses to
+    # same-leaf vs cross-leaf
+    workload = generate_workload(
+        topo,
+        WorkloadConfig(
+            num_files=bench_scale["files"],
+            num_jobs=num_jobs,
+            arrival_rate_per_server=0.09,
+            locality=LocalityDistribution(0.4, 0.0, 0.6),
+        ),
+        seed=seed,
+    )
+    config = SchemeRunConfig(topology=topo)
+
+    def run_all():
+        return {
+            scheme: summarize(
+                completion_times(
+                    run_scheme_on_workload(scheme, workload, config, seed=seed)
+                )
+            )
+            for scheme in ("mayflower", "sinbad-ecmp", "nearest-ecmp")
+        }
+
+    results = benchmark.pedantic(run_all, iterations=1, rounds=1)
+    lines = ["Generality: leaf-spine fabric (8 leaves x 8 hosts, 4 spines, 2:1)"]
+    for scheme, stats in results.items():
+        lines.append(f"  {scheme:13s} mean={stats.mean:6.2f}s p95={stats.p95:7.2f}s")
+    attach_report(benchmark, "\n".join(lines))
+
+    assert results["mayflower"].mean < results["sinbad-ecmp"].mean
+    assert results["mayflower"].mean < results["nearest-ecmp"].mean
+    assert results["mayflower"].p95 <= results["nearest-ecmp"].p95

@@ -1,0 +1,69 @@
+"""Scale bench — the result holds beyond the 64-host testbed.
+
+The paper's Mininet emulation was capacity-limited to 64 hosts across 13
+machines (§6.1); §6.4 argues the approach matters more at scale (its
+40-servers-per-rack, 500-racks example).  The fluid simulator has no such
+limit: this bench doubles the testbed twice (128 and 256 hosts, same 8:1
+oversubscription) and checks the co-design advantage persists, while the
+micro-timings bound the Flowserver's per-request cost at scale.
+"""
+
+from conftest import attach_report
+
+from repro.experiments.metrics import summarize
+from repro.experiments.runner import (
+    SchemeRunConfig,
+    completion_times,
+    run_scheme_on_workload,
+)
+from repro.net.topology import three_tier
+from repro.workload import LocalityDistribution, WorkloadConfig, generate_workload
+
+
+def _run_at_scale(pods, racks_per_pod, num_jobs, seed):
+    config = SchemeRunConfig(pods=pods, racks_per_pod=racks_per_pod)
+    topo = three_tier(pods=pods, racks_per_pod=racks_per_pod)
+    workload = generate_workload(
+        topo,
+        WorkloadConfig(
+            num_files=150,
+            num_jobs=num_jobs,
+            arrival_rate_per_server=0.07,
+            locality=LocalityDistribution(0.33, 0.33, 0.34),
+        ),
+        seed=seed,
+    )
+    out = {}
+    for scheme in ("mayflower", "nearest-ecmp"):
+        out[scheme] = summarize(
+            completion_times(run_scheme_on_workload(scheme, workload, config, seed=seed))
+        )
+    return out
+
+
+def test_scaling_to_256_hosts(benchmark, bench_scale):
+    num_jobs = max(120, bench_scale["jobs"] // 2)
+    seed = bench_scale["seed"]
+
+    def sweep():
+        return {
+            64: _run_at_scale(4, 4, num_jobs, seed),
+            128: _run_at_scale(8, 4, num_jobs, seed),
+            256: _run_at_scale(8, 8, num_jobs, seed),
+        }
+
+    results = benchmark.pedantic(sweep, iterations=1, rounds=1)
+    lines = ["Scale sweep (same 8:1 oversubscription, λ=0.07/server)"]
+    for hosts, by_scheme in results.items():
+        mf, ne = by_scheme["mayflower"], by_scheme["nearest-ecmp"]
+        lines.append(
+            f"  {hosts:4d} hosts: mayflower mean={mf.mean:5.2f}s  "
+            f"nearest-ecmp mean={ne.mean:5.2f}s  advantage={ne.mean / mf.mean:.2f}x"
+        )
+    attach_report(benchmark, "\n".join(lines))
+
+    for hosts, by_scheme in results.items():
+        assert (
+            by_scheme["mayflower"].mean < by_scheme["nearest-ecmp"].mean
+        ), hosts
+        assert by_scheme["mayflower"].p95 < by_scheme["nearest-ecmp"].p95, hosts

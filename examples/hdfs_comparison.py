@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Prototype comparison with HDFS (mini Fig. 8).
+
+Drives the *full* distributed-filesystem stack — nameserver RPCs, client
+metadata caching, Flowserver selection RPCs, dataserver reads over the
+congestion-simulated network — under three configurations:
+
+* ``mayflower``       — co-designed replica + path selection;
+* ``hdfs-mayflower``  — HDFS rack-aware replica selection, Mayflower path
+  scheduling (network-aware paths only);
+* ``hdfs-ecmp``       — HDFS rack-aware replica selection, ECMP paths.
+
+Run:  python examples/hdfs_comparison.py  [num_jobs]
+"""
+
+import sys
+
+from repro.cluster import run_cluster_workload
+from repro.experiments.metrics import summarize
+
+
+def main():
+    num_jobs = int(sys.argv[1]) if len(sys.argv) > 1 else 100
+    rates = (0.06, 0.07, 0.08)
+    schemes = ("mayflower", "hdfs-mayflower", "hdfs-ecmp")
+
+    print(f"full-stack cluster, {num_jobs} jobs per cell\n")
+    print(f"{'scheme':16s}" + "".join(f"  λ={r:<6g}" for r in rates))
+    rows = {}
+    for scheme in schemes:
+        cells = []
+        for rate in rates:
+            durations = run_cluster_workload(
+                scheme, arrival_rate_per_server=rate,
+                num_jobs=num_jobs, num_files=60, seed=42,
+            )
+            stats = summarize(durations)
+            rows.setdefault(scheme, {})[rate] = stats
+            cells.append(f"  {stats.mean:6.2f}s")
+        print(f"{scheme:16s}" + "".join(cells))
+
+    print("\n95th percentile:")
+    for scheme in schemes:
+        cells = [f"  {rows[scheme][r].p95:6.2f}s" for r in rates]
+        print(f"{scheme:16s}" + "".join(cells))
+
+    mf = rows["mayflower"][0.07].mean
+    ecmp = rows["hdfs-ecmp"][0.07].mean
+    print(
+        f"\nAt λ=0.07 Mayflower cuts average read completion by "
+        f"{100 * (1 - mf / ecmp):.0f}% vs HDFS-ECMP "
+        "(paper, Fig. 8: 3.09s vs 14.9s, i.e. ~79%)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,42 @@
+"""Baseline replica- and path-selection schemes from §6.2.
+
+The paper compares Mayflower against four combinations of replica
+selection {Nearest, Sinbad-R} × path selection {ECMP, Mayflower's path
+scheduler}, plus HDFS (rack-aware nearest + ECMP) for the prototype
+comparison:
+
+* :mod:`repro.baselines.selectors` — replica choice: HDFS-style nearest
+  (static network distance) and Sinbad-R (dynamic, end-host
+  utilization-driven, restricted to the client's pod when co-located);
+* :mod:`repro.baselines.monitor` — the end-host bandwidth monitor Sinbad
+  relies on (periodically sampled NIC counters, so its view is stale
+  between samples — one of the weaknesses §1 calls out);
+* :mod:`repro.baselines.schemes` — uniform ``Scheme`` interface combining
+  a replica selector with a path selector, used by both the simulation
+  experiments and the full-cluster prototype.
+"""
+
+from repro.baselines.monitor import EndHostMonitor
+from repro.baselines.schemes import (
+    FlowAssignment,
+    MayflowerScheme,
+    ReplicaPlusEcmpScheme,
+    ReplicaPlusFlowserverScheme,
+    Scheme,
+    SCHEME_NAMES,
+    build_scheme,
+)
+from repro.baselines.selectors import NearestReplicaSelector, SinbadRSelector
+
+__all__ = [
+    "EndHostMonitor",
+    "FlowAssignment",
+    "MayflowerScheme",
+    "NearestReplicaSelector",
+    "ReplicaPlusEcmpScheme",
+    "ReplicaPlusFlowserverScheme",
+    "SCHEME_NAMES",
+    "Scheme",
+    "SinbadRSelector",
+    "build_scheme",
+]

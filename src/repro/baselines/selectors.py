@@ -1,0 +1,94 @@
+"""Replica selectors for the baseline schemes.
+
+* :class:`NearestReplicaSelector` — HDFS-style static selection by network
+  distance (same host < same rack < same pod < elsewhere), random among
+  ties.  §1: with few replicas and many servers, "HDFS is just performing
+  random replica selection" whenever distances tie.
+* :class:`SinbadRSelector` — the paper's read-variant of Sinbad (§6.2):
+  dynamic selection by *current* network load, estimated from end-host
+  counters for the links facing the core; when the client shares a pod
+  with any replica, the search space is restricted to that pod.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence
+
+from repro.baselines.monitor import EndHostMonitor
+from repro.net.topology import Topology
+
+
+class ReplicaSelector:
+    """Interface: pick one replica host to read from."""
+
+    def select_replica(self, client: str, replicas: Sequence[str]) -> str:
+        raise NotImplementedError
+
+
+class NearestReplicaSelector(ReplicaSelector):
+    """Static nearest-replica selection (HDFS rack awareness)."""
+
+    def __init__(self, topology: Topology, rng: random.Random):
+        self._topo = topology
+        self._rng = rng
+
+    def select_replica(self, client: str, replicas: Sequence[str]) -> str:
+        if not replicas:
+            raise ValueError("no replicas to select from")
+        best_distance = min(self._topo.network_distance(client, r) for r in replicas)
+        nearest = [
+            r for r in replicas
+            if self._topo.network_distance(client, r) == best_distance
+        ]
+        return nearest[self._rng.randrange(len(nearest))]
+
+
+class SinbadRSelector(ReplicaSelector):
+    """Dynamic congestion-aware selection from end-host measurements.
+
+    For each candidate replica the selector scores the core-facing links
+    its read would ascend — the replica's own edge uplink (known exactly
+    from the end host) and its rack's uplinks (estimated) — and picks the
+    replica with the least-utilized worst link.  Two deviations from write
+    Sinbad, per §6.2: the link direction is reversed (reads flow from the
+    replica towards the core), and the search is restricted to the
+    client's pod when a co-located replica exists.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        monitor: EndHostMonitor,
+        rng: random.Random,
+    ):
+        self._topo = topology
+        self._monitor = monitor
+        self._rng = rng
+
+    def select_replica(self, client: str, replicas: Sequence[str]) -> str:
+        if not replicas:
+            raise ValueError("no replicas to select from")
+        candidates = self._restrict_to_client_pod(client, list(replicas))
+        scored = []
+        for replica in candidates:
+            if replica == client:
+                return replica  # local read beats any remote choice
+            edge_fraction = self._monitor.host_uplink_fraction(replica)
+            rack = self._topo.hosts[replica].rack
+            # A same-rack read never ascends the rack uplinks.
+            if rack == self._topo.hosts[client].rack:
+                rack_fraction = 0.0
+            else:
+                rack_fraction = self._monitor.rack_uplink_fraction(rack)
+            scored.append((max(edge_fraction, rack_fraction), replica))
+        best_score = min(score for score, _ in scored)
+        best = [r for score, r in scored if score <= best_score + 1e-12]
+        return best[self._rng.randrange(len(best))]
+
+    def _restrict_to_client_pod(
+        self, client: str, replicas: List[str]
+    ) -> List[str]:
+        client_pod = self._topo.hosts[client].pod
+        in_pod = [r for r in replicas if self._topo.hosts[r].pod == client_pod]
+        return in_pod if in_pod else replicas

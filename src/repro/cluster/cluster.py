@@ -1,0 +1,296 @@
+"""The assembled Mayflower cluster.
+
+One :class:`Cluster` owns a complete deployment: simulated network + SDN
+controller (+ Flowserver), RPC fabric, nameserver, per-host dataservers
+and a client factory.  The ``scheme`` knob swaps the read-planning policy
+so the same cluster runs the paper's prototype comparison (Fig. 8):
+``mayflower``, ``hdfs-mayflower`` (rack-aware selection + Flowserver path
+scheduling) and ``hdfs-ecmp`` (rack-aware selection + ECMP).
+"""
+
+from __future__ import annotations
+
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Generator, Optional
+
+from repro.baselines.selectors import NearestReplicaSelector
+from repro.cluster.dataplane import SimulatedDataPlane
+from repro.cluster.planners import FlowserverReadPlanner, SelectorReadPlanner
+from repro.core.flowserver import Flowserver, FlowserverConfig
+from repro.fs.client import MayflowerClient, ReadPlanner
+from repro.fs.consistency import ConsistencyMode
+from repro.fs.dataserver import Dataserver
+from repro.fs.nameserver import Nameserver
+from repro.fs.placement import HdfsRackAwarePlacement, PaperEvalPlacement
+from repro.net.routing import RoutingTable
+from repro.net.simulator import FlowNetwork
+from repro.net.topology import Topology, three_tier
+from repro.rpc import RpcFabric
+from repro.sdn.controller import Controller
+from repro.sim.engine import EventLoop
+from repro.sim.process import Process
+from repro.sim.randomness import RandomStreams
+
+#: Virtual RPC endpoint where the Flowserver service lives (the SDN
+#: controller is reachable over the management network, not the data
+#: network, exactly as with Floodlight in the paper).
+CONTROLLER_ENDPOINT = "@controller"
+
+_CLUSTER_SCHEMES = ("mayflower", "hdfs-mayflower", "hdfs-ecmp")
+
+
+@dataclass
+class ClusterConfig:
+    """Deployment knobs; defaults reproduce the paper's testbed."""
+
+    pods: int = 4
+    racks_per_pod: int = 4
+    hosts_per_rack: int = 4
+    oversubscription: float = 8.0
+    edge_bps: float = 1e9
+    scheme: str = "mayflower"
+    replication: int = 3
+    chunk_bytes: int = 256 * 1024 * 1024
+    consistency: ConsistencyMode = ConsistencyMode.SEQUENTIAL
+    placement: str = "paper-eval"  # or "hdfs-rack-aware"
+    store_payload: bool = False
+    rpc_latency: float = 0.0005
+    rpc_jitter: float = 0.0
+    flowserver: FlowserverConfig = field(default_factory=FlowserverConfig)
+    seed: int = 0
+    db_directory: Optional[Path] = None
+    #: 1 = the paper's centralized nameserver; >= 3 = Paxos-replicated
+    #: nameserver on the first N hosts (§3.3.1's suggested improvement).
+    nameserver_replicas: int = 1
+    #: Heartbeat-driven failure detection + automatic re-replication
+    #: (GFS/HDFS availability semantics; off by default so performance
+    #: experiments carry no periodic-timer noise).
+    enable_replica_manager: bool = False
+    heartbeat_interval: float = 5.0
+    heartbeat_timeout: float = 15.0
+    repair_interval: float = 10.0
+
+
+class Cluster:
+    """A fully wired Mayflower (or HDFS-comparator) deployment."""
+
+    def __init__(self, config: Optional[ClusterConfig] = None):
+        self.config = config or ClusterConfig()
+        if self.config.scheme not in _CLUSTER_SCHEMES:
+            raise ValueError(
+                f"unknown cluster scheme {self.config.scheme!r}; "
+                f"expected one of {_CLUSTER_SCHEMES}"
+            )
+        streams = RandomStreams(self.config.seed)
+
+        # --- network + SDN control plane -------------------------------
+        self.topology: Topology = three_tier(
+            pods=self.config.pods,
+            racks_per_pod=self.config.racks_per_pod,
+            hosts_per_rack=self.config.hosts_per_rack,
+            edge_bps=self.config.edge_bps,
+            oversubscription=self.config.oversubscription,
+        )
+        self.loop = EventLoop()
+        self.network = FlowNetwork(self.loop, self.topology)
+        self.routing = RoutingTable(self.topology)
+        self.controller = Controller(self.network)
+        needs_flowserver = self.config.scheme in ("mayflower", "hdfs-mayflower")
+        self.flowserver: Optional[Flowserver] = (
+            Flowserver(self.controller, self.routing, self.config.flowserver)
+            if needs_flowserver
+            else None
+        )
+
+        # --- RPC fabric + data plane ------------------------------------
+        self.fabric = RpcFabric(
+            self.loop,
+            latency=self.config.rpc_latency,
+            jitter=self.config.rpc_jitter,
+            seed=self.config.seed,
+        )
+        self.dataplane = SimulatedDataPlane(
+            self.loop,
+            self.controller,
+            self.routing,
+            ecmp_salt=self.config.seed,
+        )
+        if self.flowserver is not None:
+            self.fabric.register(CONTROLLER_ENDPOINT, "flowserver", self.flowserver)
+
+        # --- filesystem servers -----------------------------------------
+        placement_rng = streams.stream("placement")
+        if self.config.placement == "paper-eval":
+            placement = PaperEvalPlacement(self.topology, placement_rng)
+        elif self.config.placement == "hdfs-rack-aware":
+            placement = HdfsRackAwarePlacement(self.topology, placement_rng)
+        elif self.config.placement == "flowserver":
+            # §3.3's proposed extension: the nameserver places replicas
+            # collaboratively with the Flowserver (Sinbad-like, but from
+            # live flow estimates instead of sampled end-host counters).
+            from repro.core.write_placement import FlowserverWritePlacement
+
+            if self.flowserver is None:
+                raise ValueError(
+                    "placement='flowserver' requires a flowserver scheme"
+                )
+            placement = FlowserverWritePlacement(
+                self.topology, self.routing, self.flowserver, placement_rng
+            )
+        else:
+            raise ValueError(f"unknown placement {self.config.placement!r}")
+
+        db_dir = self.config.db_directory or Path(
+            tempfile.mkdtemp(prefix="mayflower-ns-")
+        )
+        if self.config.nameserver_replicas >= 3:
+            from repro.consensus import build_replicated_nameserver
+
+            self.nameserver_endpoints = sorted(self.topology.hosts)[
+                : self.config.nameserver_replicas
+            ]
+            self._ns_replicas = build_replicated_nameserver(
+                self.nameserver_endpoints,
+                self.fabric,
+                self.loop,
+                placement_factory=lambda ep: placement,
+                db_directory_factory=lambda ep: Path(db_dir) / ep,
+                rng_factory=lambda ep: streams.fork(f"ns-ids/{ep}").stream("ids"),
+            )
+            self.nameserver_host = self.nameserver_endpoints[0]
+            self.nameserver = self._ns_replicas[self.nameserver_host]
+        elif self.config.nameserver_replicas == 1:
+            self.nameserver_endpoints = [sorted(self.topology.hosts)[0]]
+            self.nameserver_host = self.nameserver_endpoints[0]
+            self._ns_replicas = None
+            self.nameserver = Nameserver(
+                db_dir, placement, rng=streams.stream("file-ids")
+            )
+            self.fabric.register(self.nameserver_host, "nameserver", self.nameserver)
+        else:
+            raise ValueError(
+                "nameserver_replicas must be 1 or >= 3 (Paxos needs a majority)"
+            )
+
+        self.dataservers: Dict[str, Dataserver] = {}
+        for host_id in sorted(self.topology.hosts):
+            ds = Dataserver(
+                host_id,
+                self.loop,
+                self.fabric,
+                self.dataplane,
+                store_payload=self.config.store_payload,
+                nameserver_endpoint=self.nameserver_host,
+            )
+            self.dataservers[host_id] = ds
+            self.fabric.register(host_id, "dataserver", ds)
+
+        self._nearest_selector = NearestReplicaSelector(
+            self.topology, streams.stream("nearest-tiebreak")
+        )
+
+        # --- availability machinery (optional) ---------------------------
+        self.membership = None
+        self.replica_manager = None
+        self._heartbeat_senders = []
+        if self.config.enable_replica_manager:
+            from repro.fs.membership import (
+                MEMBERSHIP_SERVICE,
+                HeartbeatSender,
+                MembershipTracker,
+                ReplicaManager,
+            )
+
+            self.membership = MembershipTracker(
+                self.loop, sorted(self.topology.hosts)
+            )
+            self.fabric.register(
+                self.nameserver_host, MEMBERSHIP_SERVICE, self.membership
+            )
+            for host_id in sorted(self.topology.hosts):
+                self._heartbeat_senders.append(
+                    HeartbeatSender(
+                        self.loop,
+                        self.fabric,
+                        host_id,
+                        self.nameserver_host,
+                        interval=self.config.heartbeat_interval,
+                    )
+                )
+            self.replica_manager = ReplicaManager(
+                self.loop,
+                self.fabric,
+                self.nameserver,
+                self.nameserver_host,
+                self.membership,
+                self.topology,
+                streams.stream("repair"),
+                check_interval=self.config.repair_interval,
+                heartbeat_timeout=self.config.heartbeat_timeout,
+            )
+
+    # ------------------------------------------------------------------
+    # Client factory
+    # ------------------------------------------------------------------
+
+    def client(self, host_id: str) -> MayflowerClient:
+        """A filesystem client on ``host_id`` using the cluster's scheme."""
+        if host_id not in self.topology.hosts:
+            raise ValueError(f"{host_id!r} is not a host")
+        return MayflowerClient(
+            host_id=host_id,
+            loop=self.loop,
+            fabric=self.fabric,
+            nameserver_endpoint=self.nameserver_endpoints,
+            planner=self._planner(),
+            consistency=self.config.consistency,
+        )
+
+    def _planner(self) -> ReadPlanner:
+        scheme = self.config.scheme
+        if scheme == "mayflower":
+            return FlowserverReadPlanner(self.fabric, CONTROLLER_ENDPOINT)
+        if scheme == "hdfs-mayflower":
+            return SelectorReadPlanner(
+                self._nearest_selector, self.fabric, CONTROLLER_ENDPOINT
+            )
+        return SelectorReadPlanner(self._nearest_selector)
+
+    # ------------------------------------------------------------------
+    # Process helpers
+    # ------------------------------------------------------------------
+
+    def spawn(self, generator: Generator, name: str = "") -> Process:
+        """Run a client operation as a simulated process."""
+        return Process(self.loop, generator, name=name)
+
+    def run(self, generator: Generator, name: str = "", until: Optional[float] = None):
+        """Spawn, run the loop to completion, and return the result.
+
+        Raises whatever the process raised.
+        """
+        proc = self.spawn(generator, name=name)
+        self.run_loop(until=until)
+        if proc.exception is not None:
+            raise proc.exception
+        return proc.result
+
+    def run_loop(self, until: Optional[float] = None) -> None:
+        """Run the event loop, pausing the Flowserver's poller when idle."""
+        self.loop.run(until=until)
+
+    def shutdown(self) -> None:
+        """Graceful shutdown (flushes the nameserver database(s))."""
+        if self.flowserver is not None:
+            self.flowserver.collector.stop()
+        if self.replica_manager is not None:
+            self.replica_manager.stop()
+        for sender in self._heartbeat_senders:
+            sender.stop()
+        if self._ns_replicas is not None:
+            for replica in self._ns_replicas.values():
+                replica.close()
+        else:
+            self.nameserver.close()

@@ -1,0 +1,83 @@
+"""The concrete data plane: bulk transfers over the flow simulator.
+
+Dataservers and clients describe transfers by endpoints and size; this
+class turns them into flows.  Pre-routed transfers (Mayflower reads, whose
+paths the Flowserver already installed conceptually) pass their flow id
+and path through; everything else — writes, relays, baseline reads — is
+routed by ECMP at transfer time.
+
+Local "transfers" (same host) complete at ``local_read_bps`` (infinite by
+default: the paper's premise is that storage is never the bottleneck).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Generator, Optional
+
+from repro.fs.dataserver import DataPlane
+from repro.net.ecmp import EcmpHasher
+from repro.net.routing import Path, RoutingTable
+from repro.sdn.controller import Controller
+from repro.sim.engine import EventLoop
+from repro.sim.process import Delay, Signal
+
+
+class SimulatedDataPlane(DataPlane):
+    """Bulk data movement bound to a controller and routing table."""
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        controller: Controller,
+        routing: RoutingTable,
+        ecmp_salt: int = 0,
+        local_read_bps: Optional[float] = None,
+    ):
+        self._loop = loop
+        self._controller = controller
+        self._routing = routing
+        self._hasher = EcmpHasher(salt=ecmp_salt)
+        self._local_read_bps = local_read_bps
+        self._seq = itertools.count()
+        self.transfers_started = 0
+        self.local_transfers = 0
+
+    def transfer(
+        self,
+        src: str,
+        dst: str,
+        size_bytes: int,
+        flow_id: Optional[str] = None,
+        path: Optional[Path] = None,
+        job_id: Optional[str] = None,
+    ) -> Generator:
+        """Move ``size_bytes`` from ``src`` to ``dst``; completes on delivery."""
+        if size_bytes < 0:
+            raise ValueError(f"transfer size must be non-negative, got {size_bytes}")
+        if size_bytes == 0:
+            return None
+        if src == dst:
+            self.local_transfers += 1
+            if self._local_read_bps is not None:
+                yield Delay(size_bytes * 8.0 / self._local_read_bps)
+            return None
+
+        seq = next(self._seq)
+        if path is None:
+            candidates = self._routing.paths(src, dst)
+            path = self._hasher.pick_for_flow(candidates, seq)
+        if flow_id is None:
+            flow_id = f"dp{seq}"
+
+        done = Signal(self._loop, name=f"transfer:{flow_id}")
+        self._controller.start_transfer(
+            flow_id,
+            path,
+            size_bytes * 8.0,
+            on_complete=lambda flow: done.fire(flow),
+            job_id=job_id,
+        )
+        self.transfers_started += 1
+        yield done
+        return None

@@ -1,0 +1,29 @@
+"""State machine replication (Multi-Paxos).
+
+§3.3.1: "We can improve the fault-tolerance of the nameserver by using a
+state machine replication algorithm, such as Paxos, to replicate the
+nameserver to multiple nodes."  This package implements that improvement:
+
+* :mod:`repro.consensus.paxos` — Multi-Paxos replicas over the RPC
+  fabric: ballots, the prepare/promise and accept/accepted phases,
+  majority commit, in-order application to a deterministic state machine,
+  and leader takeover on failure;
+* :mod:`repro.consensus.replicated_nameserver` — the nameserver as a
+  replicated state machine: mutations go through the log (placement is
+  decided once, by the proposing replica, so all replicas stay
+  byte-identical), lookups are served locally.
+"""
+
+from repro.consensus.paxos import PaxosCluster, PaxosReplica, ProposalFailed
+from repro.consensus.replicated_nameserver import (
+    ReplicatedNameserver,
+    build_replicated_nameserver,
+)
+
+__all__ = [
+    "PaxosCluster",
+    "PaxosReplica",
+    "ProposalFailed",
+    "ReplicatedNameserver",
+    "build_replicated_nameserver",
+]

@@ -1,0 +1,344 @@
+"""Multi-Paxos over the RPC fabric.
+
+Each :class:`PaxosReplica` is acceptor, learner and (potential) proposer
+for a shared command log.  A replica that wants to commit a command:
+
+1. if it does not hold a prepared ballot, runs **phase 1** — ``prepare``
+   with a ballot greater than any it has seen, collecting promises (and
+   previously-accepted values) from a majority for every unfinished slot;
+2. runs **phase 2** for the next free slot — ``accept`` to all peers,
+   committing when a majority answers ``accepted``; any promised value
+   discovered in phase 1 must be re-proposed before new commands (the
+   classic re-proposal rule);
+3. broadcasts ``learn`` so every replica applies the chosen command to
+   its state machine in slot order.
+
+Ballots are ``(round, node_index)`` so they are totally ordered and
+proposer-unique.  A replica rejected with a higher ballot abandons
+leadership and retries phase 1 with a larger round, giving eventual
+progress after failures (no liveness guarantee under perpetual duels,
+exactly like Paxos itself).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Generator, List, Optional, Tuple
+
+from repro.rpc.errors import RpcError
+from repro.sim.engine import EventLoop
+from repro.sim.process import Process
+
+Ballot = Tuple[int, int]  # (round, node index) — totally ordered
+
+SERVICE = "paxos"
+
+#: No-op command used to fill log holes on leader takeover; never passed
+#: to the application state machine.
+NOOP = {"op": "__paxos_noop__"}
+
+
+class ProposalFailed(RuntimeError):
+    """The command could not be committed (no majority reachable)."""
+
+
+@dataclass
+class _SlotState:
+    """Acceptor-side state for one log slot."""
+
+    accepted_ballot: Optional[Ballot] = None
+    accepted_value: Any = None
+    chosen: bool = False
+
+
+class PaxosReplica:
+    """One replica: acceptor + learner + on-demand proposer.
+
+    Parameters
+    ----------
+    node_id:
+        This replica's RPC endpoint.
+    peers:
+        All replica endpoints (including this one); majority is computed
+        from its length.
+    apply_fn:
+        Deterministic state-machine transition, called exactly once per
+        slot in slot order with the chosen command.
+    """
+
+    def __init__(
+        self,
+        node_id: str,
+        peers: List[str],
+        fabric,
+        loop: EventLoop,
+        apply_fn: Callable[[Any], Any],
+    ):
+        if node_id not in peers:
+            raise ValueError(f"{node_id!r} must be one of the peers {peers!r}")
+        self.node_id = node_id
+        self.peers = list(peers)
+        self._fabric = fabric
+        self._loop = loop
+        self._apply = apply_fn
+        self._index = self.peers.index(node_id)
+
+        # Acceptor state.
+        self._promised: Ballot = (-1, -1)
+        self._slots: Dict[int, _SlotState] = {}
+
+        # Learner state.
+        self._applied_up_to = -1  # highest contiguously applied slot
+        self._apply_results: Dict[int, Any] = {}
+
+        # Proposer state.
+        self._current_ballot: Optional[Ballot] = None
+        self._next_slot = 0
+        self._round = 0
+
+        self.commands_applied = 0
+        self.phase1_runs = 0
+
+        fabric.register(node_id, SERVICE, self)
+
+    @property
+    def majority(self) -> int:
+        return len(self.peers) // 2 + 1
+
+    # ------------------------------------------------------------------
+    # Acceptor RPC handlers
+    # ------------------------------------------------------------------
+
+    def prepare(self, ballot: Ballot) -> dict:
+        """Phase 1b: promise or reject.
+
+        The reply carries both the accepted-but-undecided values (which
+        the new leader must re-propose) and the *chosen* values this
+        acceptor knows (which are decided forever — the leader must treat
+        them as such, or a stale acceptance reported by a lagging peer
+        could shadow a decided value and fork the log).
+        """
+        ballot = tuple(ballot)
+        if ballot <= self._promised:
+            return {"ok": False, "promised": self._promised}
+        self._promised = ballot
+        accepted = {
+            slot: (state.accepted_ballot, state.accepted_value)
+            for slot, state in self._slots.items()
+            if state.accepted_ballot is not None and not state.chosen
+        }
+        chosen = {
+            slot: state.accepted_value
+            for slot, state in self._slots.items()
+            if state.chosen
+        }
+        return {
+            "ok": True,
+            "accepted": accepted,
+            "chosen": chosen,
+            "applied_up_to": self._applied_up_to,
+        }
+
+    def accept(self, ballot: Ballot, slot: int, value: Any) -> dict:
+        """Phase 2b: accept unless promised to a higher ballot."""
+        ballot = tuple(ballot)
+        if ballot < self._promised:
+            return {"ok": False, "promised": self._promised}
+        self._promised = ballot
+        state = self._slots.setdefault(slot, _SlotState())
+        state.accepted_ballot = ballot
+        state.accepted_value = value
+        return {"ok": True}
+
+    def learn(self, slot: int, value: Any) -> int:
+        """A value was chosen; record, apply in order, report progress.
+
+        The returned ``applied_up_to`` lets the sender detect lagging
+        replicas (e.g. ones that were down for earlier slots) and re-send
+        the chosen values they missed.
+        """
+        state = self._slots.setdefault(slot, _SlotState())
+        if not state.chosen:
+            state.chosen = True
+            state.accepted_value = value
+        self._apply_ready()
+        return self._applied_up_to
+
+    # ------------------------------------------------------------------
+    # Proposer
+    # ------------------------------------------------------------------
+
+    def propose(self, command: Any) -> Generator:
+        """Commit ``command``; returns the state machine's apply result.
+
+        Run as a process on the replica that received the client request.
+        Retries phase 1 with larger ballots when pre-empted, up to a
+        bounded number of attempts.
+        """
+        for _ in range(8):
+            try:
+                if self._current_ballot is None:
+                    yield from self._run_phase1()
+                slot = self._next_slot
+                self._next_slot += 1
+                chosen = yield from self._run_phase2(slot, command)
+                yield from self._broadcast_learn(slot, chosen)
+                if chosen is command:
+                    result = yield from self._wait_applied(slot)
+                    return result
+                # A previously-accepted value owned this slot; ours still
+                # needs a home — loop and try the next slot.
+                continue
+            except _Preempted:
+                self._current_ballot = None
+                continue
+        raise ProposalFailed(
+            f"{self.node_id}: could not commit command after repeated pre-emption"
+        )
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _run_phase1(self) -> Generator:
+        self._round += 1
+        self.phase1_runs += 1
+        ballot = (self._round, self._index)
+        replies = yield from self._broadcast("prepare", ballot)
+        promises = [r for r in replies if r and r.get("ok")]
+        if len(promises) < self.majority:
+            highest = max(
+                (tuple(r["promised"]) for r in replies if r and not r.get("ok")),
+                default=(self._round, -1),
+            )
+            self._round = max(self._round, highest[0])
+            raise _Preempted()
+        self._current_ballot = ballot
+        # Adopt every *chosen* value reported by the quorum first: those
+        # slots are decided and must never be re-proposed from (possibly
+        # stale) mere acceptances.
+        for reply in promises:
+            for slot, value in reply.get("chosen", {}).items():
+                self.learn(int(slot), value)
+        decided = {s for s, st in self._slots.items() if st.chosen}
+        # Adopt previously accepted values: they must be re-proposed.
+        pending: Dict[int, Tuple[Ballot, Any]] = {}
+        for reply in promises:
+            for slot, (acc_ballot, acc_value) in reply["accepted"].items():
+                slot = int(slot)
+                if slot in decided:
+                    continue
+                existing = pending.get(slot)
+                if existing is None or tuple(acc_ballot) > existing[0]:
+                    pending[slot] = (tuple(acc_ballot), acc_value)
+        max_known = max(
+            [self._applied_up_to]
+            + [int(r["applied_up_to"]) for r in promises]
+            + [s for s in pending]
+            + [s for s in decided]
+        )
+        self._next_slot = max_known + 1
+        # Fill holes (slots no promise reported and we have not seen chosen)
+        # with no-ops so learners can never stall behind an empty slot.  A
+        # globally-chosen value always appears in some promise of any
+        # majority quorum, so no-ops only land in genuinely unchosen slots.
+        for slot in range(self._applied_up_to + 1, self._next_slot):
+            locally_chosen = slot in self._slots and self._slots[slot].chosen
+            if slot not in pending and not locally_chosen:
+                pending[slot] = ((-1, -1), NOOP)
+        # Finish the in-doubt slots under our ballot before new commands.
+        for slot in sorted(pending):
+            chosen = yield from self._run_phase2(slot, pending[slot][1])
+            yield from self._broadcast_learn(slot, chosen)
+
+    def _run_phase2(self, slot: int, value: Any) -> Generator:
+        ballot = self._current_ballot
+        assert ballot is not None
+        replies = yield from self._broadcast("accept", ballot, slot, value)
+        acks = [r for r in replies if r and r.get("ok")]
+        if len(acks) < self.majority:
+            raise _Preempted()
+        return value
+
+    def _broadcast_learn(self, slot: int, value: Any) -> Generator:
+        replies = yield from self._broadcast("learn", slot, value)
+        # Catch lagging replicas up: re-send chosen values they missed.
+        for peer, applied in zip(self.peers, replies):
+            if applied is None or not isinstance(applied, int) or applied >= slot:
+                continue
+            for missing in range(applied + 1, slot):
+                state = self._slots.get(missing)
+                if state is not None and state.chosen:
+                    yield from self._call_one(peer, "learn", missing, state.accepted_value)
+
+    def _broadcast(self, method: str, *args: Any) -> Generator:
+        """Call every peer in parallel; unreachable peers yield ``None``."""
+        procs = []
+        for peer in self.peers:
+            procs.append(
+                Process(
+                    self._loop,
+                    self._call_one(peer, method, *args),
+                    name=f"paxos:{method}->{peer}",
+                )
+            )
+        replies = []
+        for proc in procs:
+            reply = yield proc
+            replies.append(reply)
+        return replies
+
+    def _call_one(self, peer: str, method: str, *args: Any) -> Generator:
+        try:
+            result = yield from self._fabric.invoke(
+                self.node_id, peer, SERVICE, method, *args
+            )
+            return result
+        except RpcError:
+            return None
+
+    def _apply_ready(self) -> None:
+        while True:
+            state = self._slots.get(self._applied_up_to + 1)
+            if state is None or not state.chosen:
+                break
+            self._applied_up_to += 1
+            if state.accepted_value == NOOP:
+                self._apply_results[self._applied_up_to] = None
+                continue
+            result = self._apply(state.accepted_value)
+            self._apply_results[self._applied_up_to] = result
+            self.commands_applied += 1
+
+    def _wait_applied(self, slot: int) -> Generator:
+        from repro.sim.process import Delay
+
+        while self._applied_up_to < slot:
+            yield Delay(0.0001)
+        return self._apply_results.get(slot)
+
+
+class _Preempted(Exception):
+    """Internal: a higher ballot interrupted this proposer."""
+
+
+class PaxosCluster:
+    """Convenience builder for a set of replicas over one fabric."""
+
+    def __init__(
+        self,
+        endpoints: List[str],
+        fabric,
+        loop: EventLoop,
+        apply_fn_factory: Callable[[str], Callable[[Any], Any]],
+    ):
+        if len(endpoints) < 3:
+            raise ValueError("a Paxos cluster needs at least 3 replicas")
+        self.replicas: Dict[str, PaxosReplica] = {}
+        for endpoint in endpoints:
+            self.replicas[endpoint] = PaxosReplica(
+                endpoint, endpoints, fabric, loop, apply_fn_factory(endpoint)
+            )
+
+    def replica(self, endpoint: str) -> PaxosReplica:
+        return self.replicas[endpoint]

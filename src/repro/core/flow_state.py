@@ -1,0 +1,164 @@
+"""The Flowserver's model of in-flight flows.
+
+The Flowserver never reads ground truth from the network simulator; it keeps
+its own :class:`TrackedFlow` per Mayflower-related flow, refreshed from
+switch counters and adjusted analytically when new flows are scheduled.
+
+Pseudocode 2's freeze discipline lives here:
+
+* ``SETBW`` (:meth:`FlowStateTable.set_bw`) — after a scheduling decision,
+  a flow's estimated bandwidth is overwritten and the flow is *frozen*
+  until its expected completion time, so the next (stale) stats poll cannot
+  clobber the estimate;
+* ``UPDATEBW`` (:meth:`FlowStateTable.update_bw_from_stats`) — a measured
+  bandwidth only lands if the flow is unfrozen or its freeze has expired.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+
+@dataclass
+class TrackedFlow:
+    """Flowserver-side state for one flow.
+
+    Attributes
+    ----------
+    bw_bps:
+        Current bandwidth-share estimate (measured or analytically set).
+    remaining_bits:
+        Outstanding volume, refreshed from flow stats on every poll (the
+        freeze discipline applies only to bandwidth).
+    freezed / freeze_until:
+        Pseudocode 2 state: while ``freezed`` and ``now <= freeze_until``,
+        measured bandwidths are ignored.
+    """
+
+    flow_id: str
+    path_link_ids: Tuple[str, ...]
+    size_bits: float
+    remaining_bits: float
+    bw_bps: float
+    freezed: bool = False
+    freeze_until: float = 0.0
+    job_id: Optional[str] = None
+
+    def expected_completion(self) -> float:
+        """Seconds left at the current estimate (``inf`` at zero bandwidth)."""
+        if self.bw_bps <= 0:
+            return math.inf
+        return self.remaining_bits / self.bw_bps
+
+
+@dataclass
+class FlowStateTable:
+    """All tracked flows plus the link -> flows index the cost model needs."""
+
+    flows: Dict[str, TrackedFlow] = field(default_factory=dict)
+    _link_index: Dict[str, Set[str]] = field(default_factory=dict)
+
+    def add(self, flow: TrackedFlow) -> None:
+        if flow.flow_id in self.flows:
+            raise ValueError(f"flow {flow.flow_id!r} already tracked")
+        self.flows[flow.flow_id] = flow
+        for link_id in flow.path_link_ids:
+            self._link_index.setdefault(link_id, set()).add(flow.flow_id)
+
+    def remove(self, flow_id: str) -> Optional[TrackedFlow]:
+        """Forget a flow (on FlowRemoved); returns it if it was tracked."""
+        flow = self.flows.pop(flow_id, None)
+        if flow is None:
+            return None
+        for link_id in flow.path_link_ids:
+            members = self._link_index.get(link_id)
+            if members is not None:
+                members.discard(flow_id)
+                if not members:
+                    del self._link_index[link_id]
+        return flow
+
+    def get(self, flow_id: str) -> Optional[TrackedFlow]:
+        return self.flows.get(flow_id)
+
+    def flows_on_link(self, link_id: str) -> List[TrackedFlow]:
+        """Tracked flows traversing ``link_id``, sorted for determinism."""
+        ids = self._link_index.get(link_id, ())
+        return [self.flows[fid] for fid in sorted(ids)]
+
+    def flows_on_path(self, link_ids: Iterable[str]) -> List[TrackedFlow]:
+        """Distinct tracked flows sharing at least one link with the path."""
+        seen: Set[str] = set()
+        for link_id in link_ids:
+            seen.update(self._link_index.get(link_id, ()))
+        return [self.flows[fid] for fid in sorted(seen)]
+
+    def link_demands(self, link_id: str) -> List[float]:
+        """Current bandwidth estimates of the flows on one link.
+
+        These are the "demands" fed to the max-min estimate for existing
+        flows (§4.2: "the demand for the existing flows is set to their
+        current bandwidth share").
+        """
+        return [f.bw_bps for f in self.flows_on_link(link_id)]
+
+    # ------------------------------------------------------------------
+    # Pseudocode 2
+    # ------------------------------------------------------------------
+
+    def set_bw(self, flow_id: str, bw_bps: float, now: float) -> None:
+        """``SETBW``: commit an analytic estimate and freeze the flow."""
+        flow = self.flows[flow_id]
+        flow.bw_bps = bw_bps
+        flow.freeze_until = now + flow.expected_completion()
+        flow.freezed = True
+
+    def update_bw_from_stats(self, flow_id: str, bw_bps: float, now: float) -> bool:
+        """``UPDATEBW``: apply a measured bandwidth unless frozen.
+
+        Returns whether the measurement was applied.  An expired freeze is
+        lifted by the update.
+        """
+        flow = self.flows.get(flow_id)
+        if flow is None:
+            return False
+        if not flow.freezed or now > flow.freeze_until:
+            flow.bw_bps = bw_bps
+            flow.freezed = False
+            return True
+        return False
+
+    def update_remaining(self, flow_id: str, remaining_bits: float) -> None:
+        """Refresh outstanding volume from flow stats (never frozen)."""
+        flow = self.flows.get(flow_id)
+        if flow is not None:
+            flow.remaining_bits = max(0.0, remaining_bits)
+
+    def snapshot_bw(self, flow_ids: Iterable[str]) -> Dict[str, Tuple[float, bool, float]]:
+        """Capture (bw, freezed, freeze_until) for later rollback.
+
+        Used by the multi-replica planner, which tentatively applies
+        bandwidth updates and may abandon them (§4.3).
+        """
+        result = {}
+        for fid in flow_ids:
+            flow = self.flows[fid]
+            result[fid] = (flow.bw_bps, flow.freezed, flow.freeze_until)
+        return result
+
+    def restore_bw(self, snapshot: Dict[str, Tuple[float, bool, float]]) -> None:
+        """Undo tentative updates captured by :meth:`snapshot_bw`."""
+        for fid, (bw, freezed, until) in snapshot.items():
+            flow = self.flows.get(fid)
+            if flow is not None:
+                flow.bw_bps = bw
+                flow.freezed = freezed
+                flow.freeze_until = until
+
+    def __len__(self) -> int:
+        return len(self.flows)
+
+    def __contains__(self, flow_id: str) -> bool:
+        return flow_id in self.flows

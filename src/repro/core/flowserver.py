@@ -1,0 +1,324 @@
+"""The Flowserver service.
+
+Runs inside the SDN controller (like the paper's Floodlight application)
+and exposes the RPC the Mayflower client calls during reads: *given a
+client, the file's replica hosts and a size, which replica(s) should I read
+from, over which path(s), and how much from each?*
+
+The same object also serves as a **path-only scheduler** for the
+``Nearest Mayflower`` / ``Sinbad-R Mayflower`` / ``HDFS-Mayflower``
+baselines: pass a single pre-selected replica and the optimization space
+collapses to path choice, exactly as §6.2 describes.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Sequence
+
+from repro.core.flow_state import FlowStateTable, TrackedFlow
+from repro.core.multireplica import MultiReplicaPlanner, SubflowPlan
+from repro.core.selection import PathChoice, select_replica_and_path
+from repro.core.stats import FlowStatsCollector
+from repro.net.routing import Path, RoutingTable
+from repro.sdn.controller import Controller
+from repro.sdn.openflow import FlowRemoved
+
+
+@dataclass(frozen=True)
+class Assignment:
+    """One transfer the client must perform for a read request.
+
+    ``path`` is ``None`` for a local read (replica on the client host);
+    otherwise the flow id has already been registered with the Flowserver
+    and the path installed in the switches is implied by starting the
+    transfer through the controller.
+    """
+
+    flow_id: Optional[str]
+    replica: str
+    path: Optional[Path]
+    size_bits: float
+    est_bw_bps: float
+
+
+@dataclass(frozen=True)
+class SelectionResult:
+    """Reply to a replica-selection RPC: one or two assignments."""
+
+    request_id: str
+    assignments: Sequence[Assignment]
+
+    @property
+    def is_local(self) -> bool:
+        return len(self.assignments) == 1 and self.assignments[0].path is None
+
+    @property
+    def is_split(self) -> bool:
+        return len(self.assignments) > 1
+
+
+@dataclass
+class FlowserverConfig:
+    """Tunables for the Flowserver (defaults reproduce the paper).
+
+    Attributes
+    ----------
+    poll_interval:
+        Edge-switch stats collection period, seconds.
+    enable_multi_replica:
+        §4.3 split reads (on in the paper's "Mayflower" configuration).
+    enable_freeze:
+        Pseudocode 2 update-freeze; disabling it is an ablation that lets
+        stale stats clobber fresh analytic estimates.
+    include_existing_flows_in_cost:
+        The second term of Eq. 2; disabling degenerates to greedy
+        max-bandwidth selection (ablation).
+    split_improvement_factor:
+        Required combined-bandwidth gain to accept a split read.
+    """
+
+    poll_interval: float = 1.0
+    enable_multi_replica: bool = True
+    enable_freeze: bool = True
+    include_existing_flows_in_cost: bool = True
+    split_improvement_factor: float = 1.0
+    #: Keep a bounded log of selection decisions (operator introspection;
+    #: see :meth:`Flowserver.explain_recent`).  0 disables tracing.
+    decision_log_size: int = 0
+
+
+@dataclass(frozen=True)
+class DecisionRecord:
+    """One traced replica/path selection."""
+
+    time: float
+    request_id: str
+    client: str
+    replicas: Sequence[str]
+    candidates_evaluated: int
+    chosen: Sequence[str]  # replica per subflow ("local" for local reads)
+    est_bw_bps: Sequence[float]
+    split: bool
+
+
+class Flowserver:
+    """Replica/path selection service co-designed with the SDN controller."""
+
+    def __init__(
+        self,
+        controller: Controller,
+        routing: RoutingTable,
+        config: Optional[FlowserverConfig] = None,
+    ):
+        self._controller = controller
+        self._routing = routing
+        self.config = config or FlowserverConfig()
+        self.state = FlowStateTable()
+        self._loop = controller.network.loop
+        self._capacities = {
+            lid: link.capacity_bps
+            for lid, link in controller.network.topology.links.items()
+        }
+        self._planner = MultiReplicaPlanner(self.config.split_improvement_factor)
+        self.collector = FlowStatsCollector(
+            self._loop,
+            controller,
+            self.state,
+            poll_interval=self.config.poll_interval,
+        )
+        controller.add_flow_removed_listener(self._on_flow_removed)
+        self._flow_seq = itertools.count()
+        self._request_seq = itertools.count()
+        # Selection telemetry (consumed by experiments/ablations).
+        self.requests_served = 0
+        self.local_reads = 0
+        self.split_reads = 0
+        self.decision_log: Deque[DecisionRecord] = deque(
+            maxlen=self.config.decision_log_size or None
+        )
+
+    # ------------------------------------------------------------------
+    # RPC surface
+    # ------------------------------------------------------------------
+
+    def select(
+        self,
+        client: str,
+        replicas: Sequence[str],
+        size_bits: float,
+        job_id: Optional[str] = None,
+    ) -> SelectionResult:
+        """Select replica(s) and path(s) for a read request.
+
+        Mirrors the RPC of §5: takes the candidate replica hosts and the
+        size, returns the replicas and per-replica sizes to read.  The
+        returned flow ids are pre-registered in the Flowserver state and
+        the caller must start the transfers through the controller using
+        exactly those ids.
+        """
+        if not replicas:
+            raise ValueError("a read request needs at least one replica")
+        if size_bits <= 0:
+            raise ValueError(f"read size must be positive, got {size_bits}")
+        request_id = job_id or f"req{next(self._request_seq)}"
+        self.requests_served += 1
+
+        if client in replicas:
+            # Data-local read: no network flow at all.
+            self.local_reads += 1
+            self._trace(request_id, client, replicas, 0, ("local",), (float("inf"),), False)
+            return SelectionResult(
+                request_id=request_id,
+                assignments=(
+                    Assignment(
+                        flow_id=None,
+                        replica=client,
+                        path=None,
+                        size_bits=size_bits,
+                        est_bw_bps=float("inf"),
+                    ),
+                ),
+            )
+
+        candidates = self._routing.paths_from_replicas(list(replicas), client)
+        if not candidates:
+            raise ValueError(f"no network path from replicas {replicas!r} to {client!r}")
+
+        if self.config.enable_multi_replica and len({p.src for p in candidates}) > 1:
+            plans = self._planner.plan(
+                candidates,
+                flow_ids=(self._next_flow_id(), self._next_flow_id()),
+                flow_size_bits=size_bits,
+                link_capacity_bps=self._capacities,
+                state=self.state,
+                now=self._loop.now,
+                include_existing_flows=self.config.include_existing_flows_in_cost,
+                job_id=request_id,
+            )
+            if len(plans) > 1:
+                self.split_reads += 1
+            assignments = tuple(self._plan_to_assignment(p) for p in plans)
+        else:
+            flow_id = self._next_flow_id()
+            choice = select_replica_and_path(
+                candidates,
+                flow_id=flow_id,
+                flow_size_bits=size_bits,
+                link_capacity_bps=self._capacities,
+                state=self.state,
+                now=self._loop.now,
+                include_existing_flows=self.config.include_existing_flows_in_cost,
+                job_id=request_id,
+            )
+            assignments = (
+                Assignment(
+                    flow_id=flow_id,
+                    replica=choice.replica,
+                    path=choice.path,
+                    size_bits=size_bits,
+                    est_bw_bps=choice.cost.est_bw_bps,
+                ),
+            )
+
+        if not self.config.enable_freeze:
+            # Ablation: undo the freeze flags SETBW just applied.
+            for flow in self.state.flows.values():
+                flow.freezed = False
+        # The collector idles when no flows are tracked; wake it back up.
+        self.collector.start()
+        self._trace(
+            request_id,
+            client,
+            replicas,
+            len(candidates),
+            tuple(a.replica for a in assignments),
+            tuple(a.est_bw_bps for a in assignments),
+            len(assignments) > 1,
+        )
+        return SelectionResult(request_id=request_id, assignments=assignments)
+
+    def select_path_only(
+        self,
+        client: str,
+        replica: str,
+        size_bits: float,
+        job_id: Optional[str] = None,
+    ) -> SelectionResult:
+        """Path selection for a pre-chosen replica (baseline scheduler mode)."""
+        return self.select(client, [replica], size_bits, job_id=job_id)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def tracked_flow(self, flow_id: str) -> Optional[TrackedFlow]:
+        return self.state.get(flow_id)
+
+    def tracked_flow_count(self) -> int:
+        return len(self.state)
+
+    def explain_recent(self, count: int = 10) -> str:
+        """Human-readable rendering of the last ``count`` traced decisions."""
+        if not self.decision_log:
+            return "no decisions traced (set FlowserverConfig.decision_log_size)"
+        lines = []
+        for record in list(self.decision_log)[-count:]:
+            chosen = " + ".join(
+                f"{replica}@{bw / 1e6:.0f}Mbps"
+                for replica, bw in zip(record.chosen, record.est_bw_bps)
+            )
+            kind = "SPLIT" if record.split else ("LOCAL" if record.chosen == ("local",) else "single")
+            lines.append(
+                f"[t={record.time:9.3f}] {record.request_id}: {record.client} <- "
+                f"{chosen} ({kind}; {record.candidates_evaluated} paths evaluated)"
+            )
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _trace(
+        self,
+        request_id: str,
+        client: str,
+        replicas: Sequence[str],
+        candidates_evaluated: int,
+        chosen: Sequence[str],
+        est_bw: Sequence[float],
+        split: bool,
+    ) -> None:
+        if self.config.decision_log_size <= 0:
+            return
+        self.decision_log.append(
+            DecisionRecord(
+                time=self._loop.now,
+                request_id=request_id,
+                client=client,
+                replicas=tuple(replicas),
+                candidates_evaluated=candidates_evaluated,
+                chosen=tuple(chosen),
+                est_bw_bps=tuple(est_bw),
+                split=split,
+            )
+        )
+
+    def _next_flow_id(self) -> str:
+        return f"mf{next(self._flow_seq)}"
+
+    def _plan_to_assignment(self, plan: SubflowPlan) -> Assignment:
+        return Assignment(
+            flow_id=plan.flow_id,
+            replica=plan.replica,
+            path=plan.choice.path,
+            size_bits=plan.size_bits,
+            est_bw_bps=plan.est_bw_bps,
+        )
+
+    def _on_flow_removed(self, message: FlowRemoved) -> None:
+        """Drop state for completed flows (controller FlowRemoved events)."""
+        self.state.remove(message.flow_id)
+        self.collector.forget(message.flow_id)

@@ -1,0 +1,135 @@
+"""§4.3 — Reading from multiple replicas in parallel.
+
+A read job is split into two subflows only when the combined estimated
+bandwidth of the subflows beats the single best flow.  The procedure
+mirrors the paper exactly:
+
+1. pick ``p1`` with the standard replica–path selection (share ``b1``);
+2. *tentatively* commit ``f1`` and run the selection again for a second
+   subflow ``f2``, restricted to **different replicas** (share ``b2``);
+   committing ``f2`` may squeeze ``f1`` down to ``b1'``;
+3. if ``b1' + b2 > b1`` keep both and split the read so the subflows finish
+   together (``S_i = d * b_i / b``); otherwise roll the tentative state
+   back and use ``p1`` alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.flow_state import FlowStateTable
+from repro.core.selection import PathChoice, commit_choice, score_candidate_paths
+from repro.net.routing import Path
+
+
+@dataclass(frozen=True)
+class SubflowPlan:
+    """One subflow of a (possibly split) read: where from, how much, how fast."""
+
+    flow_id: str
+    choice: PathChoice
+    size_bits: float
+    est_bw_bps: float
+
+    @property
+    def replica(self) -> str:
+        return self.choice.replica
+
+
+class MultiReplicaPlanner:
+    """Plans single- or dual-replica reads against a flow state table.
+
+    Parameters
+    ----------
+    improvement_factor:
+        The combined subflow bandwidth must exceed ``b1 *
+        improvement_factor`` to accept a split (1.0 reproduces the paper's
+        strict improvement test).
+    """
+
+    def __init__(self, improvement_factor: float = 1.0):
+        if improvement_factor < 1.0:
+            raise ValueError("improvement_factor must be >= 1.0")
+        self.improvement_factor = improvement_factor
+
+    def plan(
+        self,
+        candidate_paths: Sequence[Path],
+        flow_ids: Tuple[str, str],
+        flow_size_bits: float,
+        link_capacity_bps: Mapping[str, float],
+        state: FlowStateTable,
+        now: float,
+        include_existing_flows: bool = True,
+        job_id: Optional[str] = None,
+    ) -> List[SubflowPlan]:
+        """Return one or two committed subflow plans for the read.
+
+        ``flow_ids`` supplies (pre-allocated) ids for the up-to-two
+        subflows.  On return the state table already tracks the chosen
+        flows with their final sizes and freezes applied.
+        """
+        if not candidate_paths:
+            raise ValueError("no candidate paths to select from")
+        fid1, fid2 = flow_ids
+
+        choices = score_candidate_paths(
+            candidate_paths,
+            flow_size_bits,
+            link_capacity_bps,
+            state,
+            include_existing_flows=include_existing_flows,
+        )
+        first = choices[0]
+        b1 = first.cost.est_bw_bps
+        if b1 <= 0:
+            raise ValueError("best candidate path has zero estimated bandwidth")
+
+        # Commit f1: it is the chosen flow in both the split and non-split
+        # outcomes, so its squeeze of existing flows stands either way.
+        # Scoring f2 below never mutates state, so rejecting the split
+        # needs no rollback beyond simply not committing f2.
+        commit_choice(first, fid1, flow_size_bits, state, now, job_id=job_id)
+
+        second_candidates = [p for p in candidate_paths if p.src != first.replica]
+        if not second_candidates:
+            return [SubflowPlan(fid1, first, flow_size_bits, b1)]
+
+        second_choices = score_candidate_paths(
+            second_candidates,
+            flow_size_bits,
+            link_capacity_bps,
+            state,
+            include_existing_flows=include_existing_flows,
+        )
+        second = second_choices[0]
+        b2 = second.cost.est_bw_bps
+        # f2 joining may squeeze f1 down to b1'.
+        b1_prime = second.cost.new_bw_of_existing.get(fid1, b1)
+
+        combined = b1_prime + b2
+        if b2 <= 0 or combined <= b1 * self.improvement_factor:
+            # Roll back nothing for f1 (it stays the committed single flow).
+            return [SubflowPlan(fid1, first, flow_size_bits, b1)]
+
+        commit_choice(second, fid2, flow_size_bits, state, now, job_id=job_id)
+
+        # Split sizes so subflows finish together: S_i = d * b_i / b.
+        size1 = flow_size_bits * b1_prime / combined
+        size2 = flow_size_bits - size1
+
+        flow1 = state.flows[fid1]
+        flow1.size_bits = size1
+        flow1.remaining_bits = size1
+        state.set_bw(fid1, b1_prime, now)
+
+        flow2 = state.flows[fid2]
+        flow2.size_bits = size2
+        flow2.remaining_bits = size2
+        state.set_bw(fid2, b2, now)
+
+        return [
+            SubflowPlan(fid1, first, size1, b1_prime),
+            SubflowPlan(fid2, second, size2, b2),
+        ]

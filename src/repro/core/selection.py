@@ -1,0 +1,121 @@
+"""Pseudocode 1: SELECTREPLICAANDPATH.
+
+Evaluate every shortest path from every replica to the client, score each
+with :func:`repro.core.cost.flow_cost`, pick the cheapest, and commit the
+decision: register the new flow at its estimated share and apply ``SETBW``
+(estimate + freeze) to every existing flow whose share the newcomer
+squeezes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Mapping, Optional, Sequence
+
+from repro.core.cost import CostBreakdown, flow_cost
+from repro.core.flow_state import FlowStateTable, TrackedFlow
+from repro.net.routing import Path
+
+
+@dataclass(frozen=True)
+class PathChoice:
+    """Outcome of scoring one candidate (replica, path) pair."""
+
+    path: Path
+    cost: CostBreakdown
+
+    @property
+    def replica(self) -> str:
+        return self.path.src
+
+
+def score_candidate_paths(
+    candidate_paths: Sequence[Path],
+    flow_size_bits: float,
+    link_capacity_bps: Mapping[str, float],
+    state: FlowStateTable,
+    include_existing_flows: bool = True,
+) -> List[PathChoice]:
+    """Score every candidate path; sorted cheapest-first.
+
+    Ties break on higher estimated bandwidth, then lexicographic path id,
+    keeping runs deterministic.
+    """
+    choices = [
+        PathChoice(
+            path=path,
+            cost=flow_cost(
+                path.link_ids,
+                flow_size_bits,
+                link_capacity_bps,
+                state,
+                include_existing_flows=include_existing_flows,
+            ),
+        )
+        for path in candidate_paths
+    ]
+    choices.sort(key=lambda c: (c.cost.total, -c.cost.est_bw_bps, c.path.link_ids))
+    return choices
+
+
+def commit_choice(
+    choice: PathChoice,
+    flow_id: str,
+    flow_size_bits: float,
+    state: FlowStateTable,
+    now: float,
+    job_id: Optional[str] = None,
+) -> TrackedFlow:
+    """Apply the winning choice to the Flowserver's state (Pseudocode 1 l.9-11).
+
+    Registers the new flow at its estimated share (frozen), then ``SETBW``s
+    every existing flow whose bandwidth the cost model predicts will drop.
+    """
+    tracked = TrackedFlow(
+        flow_id=flow_id,
+        path_link_ids=choice.path.link_ids,
+        size_bits=flow_size_bits,
+        remaining_bits=flow_size_bits,
+        bw_bps=choice.cost.est_bw_bps,
+        job_id=job_id,
+    )
+    state.add(tracked)
+    state.set_bw(flow_id, choice.cost.est_bw_bps, now)
+    for existing_id, new_bw in sorted(choice.cost.new_bw_of_existing.items()):
+        if existing_id in state:
+            state.set_bw(existing_id, new_bw, now)
+    return tracked
+
+
+def select_replica_and_path(
+    candidate_paths: Sequence[Path],
+    flow_id: str,
+    flow_size_bits: float,
+    link_capacity_bps: Mapping[str, float],
+    state: FlowStateTable,
+    now: float,
+    include_existing_flows: bool = True,
+    job_id: Optional[str] = None,
+) -> PathChoice:
+    """Full SELECTREPLICAANDPATH: score, pick, and commit.
+
+    Raises
+    ------
+    ValueError
+        If no candidate path exists or every candidate has infinite cost.
+    """
+    if not candidate_paths:
+        raise ValueError("no candidate paths to select from")
+    choices = score_candidate_paths(
+        candidate_paths,
+        flow_size_bits,
+        link_capacity_bps,
+        state,
+        include_existing_flows=include_existing_flows,
+    )
+    best = choices[0]
+    if math.isinf(best.cost.total):
+        raise ValueError("all candidate paths have infinite cost")
+    commit_choice(best, flow_id, flow_size_bits, state, now, job_id=job_id)
+    return best

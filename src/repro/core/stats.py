@@ -1,0 +1,142 @@
+"""Periodic flow-stats collection (§3.3.3, §4).
+
+Every ``poll_interval`` seconds the collector fetches flow stats from each
+edge switch, derives each flow's measured bandwidth from the byte-counter
+delta since the previous poll, refreshes remaining sizes, and feeds the
+measurements through ``UPDATEBW`` — so frozen flows keep their analytic
+estimates until the freeze expires (Pseudocode 2, lines 12-18).
+
+"The measured bandwidth information is used as an instantaneous snapshot of
+the network state.  In between measurements, the Flowserver tracks flow add
+and drop requests and recomputes an estimate of the path bandwidth of each
+flow after each request."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.core.flow_state import FlowStateTable
+from repro.sdn.controller import Controller
+from repro.sim.engine import EventLoop, PeriodicTimer
+
+
+@dataclass
+class PollRecord:
+    """Bookkeeping from the previous poll of one flow (for deltas)."""
+
+    bytes_sent: float
+    timestamp: float
+
+
+class FlowStatsCollector:
+    """Polls edge switches and refreshes the Flowserver's flow state.
+
+    Parameters
+    ----------
+    poll_interval:
+        Seconds between polls; the paper polls at coarse intervals and
+        relies on analytic updates in between, so the default is 1 s.
+    """
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        controller: Controller,
+        state: FlowStateTable,
+        poll_interval: float = 1.0,
+        auto_start: bool = True,
+        expire_unseen_polls: int = 10,
+    ):
+        if poll_interval <= 0:
+            raise ValueError(f"poll_interval must be positive, got {poll_interval}")
+        self._loop = loop
+        self._controller = controller
+        self._state = state
+        self.poll_interval = poll_interval
+        #: A tracked flow absent from switch stats for this many consecutive
+        #: polls is presumed dead (e.g. the dataserver failed before the
+        #: transfer started) and dropped, so stale entries cannot distort
+        #: cost estimates forever.  0 disables expiry.
+        self.expire_unseen_polls = expire_unseen_polls
+        self._previous: Dict[str, PollRecord] = {}
+        self._unseen_polls: Dict[str, int] = {}
+        self.polls_completed = 0
+        self.measurements_applied = 0
+        self.measurements_suppressed = 0
+        self.flows_expired = 0
+        self._timer: Optional[PeriodicTimer] = None
+        if auto_start:
+            self.start()
+
+    def start(self) -> None:
+        if self._timer is None or self._timer.stopped:
+            self._timer = PeriodicTimer(self._loop, self.poll_interval, self.poll_once)
+
+    def stop(self) -> None:
+        if self._timer is not None:
+            self._timer.stop()
+
+    def poll_once(self) -> None:
+        """One collection cycle over every edge switch."""
+        now = self._loop.now
+        seen = set()
+        for switch_id in self._controller.edge_switch_ids():
+            reply = self._controller.query_flow_stats(switch_id)
+            for stat in reply.flows:
+                if stat.flow_id not in self._state:
+                    # Not a tracked (Mayflower-scheduled) flow; ignore,
+                    # exactly as the Flowserver only models its own flows.
+                    continue
+                seen.add(stat.flow_id)
+                self._state.update_remaining(stat.flow_id, stat.remaining_bits)
+                previous = self._previous.get(stat.flow_id)
+                if previous is not None and now > previous.timestamp:
+                    measured_bps = (
+                        (stat.bytes_sent - previous.bytes_sent)
+                        * 8.0
+                        / (now - previous.timestamp)
+                    )
+                    applied = self._state.update_bw_from_stats(
+                        stat.flow_id, measured_bps, now
+                    )
+                    if applied:
+                        self.measurements_applied += 1
+                    else:
+                        self.measurements_suppressed += 1
+                self._previous[stat.flow_id] = PollRecord(
+                    bytes_sent=stat.bytes_sent, timestamp=now
+                )
+        # Drop poll history for flows that disappeared from the network.
+        for flow_id in list(self._previous):
+            if flow_id not in seen and flow_id not in self._state:
+                del self._previous[flow_id]
+        # Expire tracked flows that never show up in switch stats (their
+        # transfer presumably died before starting).
+        if self.expire_unseen_polls > 0:
+            for flow_id in list(self._state.flows):
+                if flow_id in seen:
+                    self._unseen_polls.pop(flow_id, None)
+                    continue
+                misses = self._unseen_polls.get(flow_id, 0) + 1
+                if misses >= self.expire_unseen_polls:
+                    self._state.remove(flow_id)
+                    self._unseen_polls.pop(flow_id, None)
+                    self.flows_expired += 1
+                else:
+                    self._unseen_polls[flow_id] = misses
+        for flow_id in list(self._unseen_polls):
+            if flow_id not in self._state:
+                del self._unseen_polls[flow_id]
+        self.polls_completed += 1
+        # Go idle once nothing is tracked so a simulation with no pending
+        # work can drain its event queue; the Flowserver restarts polling
+        # when it registers the next flow.
+        if not self._state.flows:
+            self.stop()
+
+    def forget(self, flow_id: str) -> None:
+        """Drop poll history for a removed flow (called on FlowRemoved)."""
+        self._previous.pop(flow_id, None)
+        self._unseen_polls.pop(flow_id, None)

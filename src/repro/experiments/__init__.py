@@ -1,0 +1,37 @@
+"""Experiment harness reproducing the paper's evaluation (§6).
+
+* :mod:`repro.experiments.metrics` — means, percentiles, Student-t
+  confidence intervals, and Fieller's method for ratio CIs (the paper's
+  error bars on normalized results);
+* :mod:`repro.experiments.runner` — drives a workload trace through a
+  scheme over the flow-level simulator and collects job completion times;
+* :mod:`repro.experiments.figures` — one entry point per paper figure
+  (Fig. 4, 5, 6a/6b, 7, 8) plus the §4.3 multi-replica ablation;
+* :mod:`repro.experiments.report` — ASCII rendering of result tables;
+* :mod:`repro.experiments.claims` — checks of the paper's headline claims
+  against fresh results.
+"""
+
+from repro.experiments.metrics import (
+    fieller_ratio_ci,
+    mean_confidence_interval,
+    percentile,
+    summarize,
+)
+from repro.experiments.runner import (
+    ExperimentEnv,
+    JobRecord,
+    SchemeRunConfig,
+    run_scheme_on_workload,
+)
+
+__all__ = [
+    "ExperimentEnv",
+    "JobRecord",
+    "SchemeRunConfig",
+    "fieller_ratio_ci",
+    "mean_confidence_interval",
+    "percentile",
+    "run_scheme_on_workload",
+    "summarize",
+]

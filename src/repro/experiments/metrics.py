@@ -1,0 +1,127 @@
+"""Statistics for experiment results.
+
+The paper reports average and 95th-percentile job completion times; error
+bars are 95% confidence intervals — Student-t for raw times (Fig. 6) and
+Fieller's method for the normalized ratios (Fig. 4/5, citing [30]).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+from scipy import stats
+
+
+def percentile(samples: Sequence[float], q: float) -> float:
+    """The q-th percentile (q in [0, 100]) with linear interpolation."""
+    if not samples:
+        raise ValueError("no samples")
+    return float(np.percentile(np.asarray(samples, dtype=float), q))
+
+
+def mean_confidence_interval(
+    samples: Sequence[float], confidence: float = 0.95
+) -> Tuple[float, float, float]:
+    """(mean, low, high) Student-t confidence interval for the mean."""
+    data = np.asarray(samples, dtype=float)
+    if data.size == 0:
+        raise ValueError("no samples")
+    mean = float(data.mean())
+    if data.size == 1:
+        return mean, mean, mean
+    sem = float(stats.sem(data))
+    if sem == 0:
+        return mean, mean, mean
+    half = sem * float(stats.t.ppf((1 + confidence) / 2, data.size - 1))
+    return mean, mean - half, mean + half
+
+
+def fieller_ratio_ci(
+    numerator: Sequence[float],
+    denominator: Sequence[float],
+    confidence: float = 0.95,
+) -> Tuple[float, float, float]:
+    """Fieller's theorem CI for the ratio of two independent sample means.
+
+    Returns ``(ratio, low, high)``.  When the denominator mean is not
+    significantly different from zero the interval can be unbounded; this
+    implementation returns ``(ratio, nan, nan)`` in that degenerate case.
+    """
+    a = np.asarray(numerator, dtype=float)
+    b = np.asarray(denominator, dtype=float)
+    if a.size == 0 or b.size == 0:
+        raise ValueError("no samples")
+    mean_a, mean_b = float(a.mean()), float(b.mean())
+    if mean_b == 0:
+        raise ValueError("denominator mean is zero")
+    ratio = mean_a / mean_b
+    if a.size < 2 or b.size < 2:
+        return ratio, ratio, ratio
+
+    var_a = float(a.var(ddof=1)) / a.size
+    var_b = float(b.var(ddof=1)) / b.size
+    df = a.size + b.size - 2
+    t = float(stats.t.ppf((1 + confidence) / 2, df))
+
+    # Fieller: solve g = t^2 var_b / mean_b^2; independent samples (cov=0).
+    g = t * t * var_b / (mean_b * mean_b)
+    if g >= 1:
+        return ratio, math.nan, math.nan
+    half = (
+        t
+        / mean_b
+        * math.sqrt(var_a + ratio * ratio * var_b - g * var_a)
+    )
+    center = ratio / (1 - g)
+    spread = half / (1 - g)
+    return ratio, center - spread, center + spread
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Summary statistics of one scheme's completion times."""
+
+    count: int
+    mean: float
+    mean_ci_low: float
+    mean_ci_high: float
+    p95: float
+    p99: float
+    maximum: float
+
+    def as_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "mean_ci_low": self.mean_ci_low,
+            "mean_ci_high": self.mean_ci_high,
+            "p95": self.p95,
+            "p99": self.p99,
+            "max": self.maximum,
+        }
+
+
+def summarize(samples: Sequence[float], confidence: float = 0.95) -> Summary:
+    """Standard summary of a completion-time sample."""
+    mean, low, high = mean_confidence_interval(samples, confidence)
+    return Summary(
+        count=len(samples),
+        mean=mean,
+        mean_ci_low=low,
+        mean_ci_high=high,
+        p95=percentile(samples, 95),
+        p99=percentile(samples, 99),
+        maximum=max(samples),
+    )
+
+
+def normalized_to(
+    samples: Sequence[float],
+    baseline: Sequence[float],
+    confidence: float = 0.95,
+) -> Tuple[float, float, float]:
+    """Mean ratio sample/baseline with a Fieller CI (the Fig. 4/5 bars)."""
+    return fieller_ratio_ci(samples, baseline, confidence)

@@ -1,0 +1,252 @@
+"""Drive a workload trace through a scheme on the flow-level simulator.
+
+This is the §6.3 "simple client/server application" path used for the
+replica/path-selection micro-benchmarks (Figs. 4–7): each arriving job
+asks its scheme for flow assignments and completes when its slowest flow
+finishes.  The full DFS stack (Fig. 8) lives in :mod:`repro.cluster`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.baselines.hedera import HederaScheduler
+from repro.baselines.monitor import EndHostMonitor
+from repro.baselines.schemes import Scheme, build_scheme
+from repro.baselines.selectors import NearestReplicaSelector, SinbadRSelector
+from repro.core.flowserver import Flowserver, FlowserverConfig
+from repro.net.routing import RoutingTable
+from repro.net.simulator import FlowNetwork
+from repro.net.topology import three_tier
+from repro.sdn.controller import Controller
+from repro.sim.engine import EventLoop
+from repro.sim.randomness import RandomStreams
+from repro.workload.generator import Workload
+
+
+@dataclass(frozen=True)
+class JobRecord:
+    """Measured outcome of one read job."""
+
+    job_id: str
+    client: str
+    replica_choices: tuple
+    arrival_time: float
+    completion_time: float
+    flows: int
+
+    @property
+    def duration(self) -> float:
+        return self.completion_time - self.arrival_time
+
+
+@dataclass
+class SchemeRunConfig:
+    """Environment knobs for one scheme run.
+
+    Defaults reproduce the paper testbed: 64 hosts, 8:1 oversubscription,
+    1 Gbps edges, 1 s stats/monitor intervals.
+    """
+
+    pods: int = 4
+    racks_per_pod: int = 4
+    hosts_per_rack: int = 4
+    oversubscription: float = 8.0
+    edge_bps: float = 1e9
+    #: Use a prebuilt topology instead of the 3-tier parameters above
+    #: (e.g. repro.net.leaf_spine); the workload must be generated against
+    #: the same topology.
+    topology: object = None
+    flowserver: FlowserverConfig = field(default_factory=FlowserverConfig)
+    monitor_interval: float = 1.0
+    hedera_interval: float = 5.0
+    max_sim_seconds: float = 100000.0
+
+
+@dataclass
+class ExperimentEnv:
+    """Everything one scheme run builds; exposed for tests and ablations."""
+
+    loop: EventLoop
+    network: FlowNetwork
+    routing: RoutingTable
+    controller: Controller
+    flowserver: Optional[Flowserver]
+    monitor: Optional[EndHostMonitor]
+    hedera: Optional[HederaScheduler]
+    scheme: Scheme
+
+
+def build_environment(
+    scheme_name: str,
+    config: SchemeRunConfig,
+    seed: int,
+) -> ExperimentEnv:
+    """Construct the simulator, control plane and scheme for one run."""
+    streams = RandomStreams(seed)
+    topo = config.topology or three_tier(
+        pods=config.pods,
+        racks_per_pod=config.racks_per_pod,
+        hosts_per_rack=config.hosts_per_rack,
+        edge_bps=config.edge_bps,
+        oversubscription=config.oversubscription,
+    )
+    loop = EventLoop()
+    network = FlowNetwork(loop, topo)
+    routing = RoutingTable(topo)
+    controller = Controller(network)
+
+    needs_flowserver = scheme_name in (
+        "mayflower",
+        "nearest-mayflower",
+        "sinbad-mayflower",
+        "hdfs-mayflower",
+    )
+    flowserver = (
+        Flowserver(controller, routing, config.flowserver)
+        if needs_flowserver
+        else None
+    )
+
+    needs_monitor = scheme_name.startswith("sinbad")
+    monitor = (
+        EndHostMonitor(loop, network, sample_interval=config.monitor_interval)
+        if needs_monitor
+        else None
+    )
+
+    hedera = (
+        HederaScheduler(
+            loop,
+            controller,
+            routing,
+            interval=config.hedera_interval,
+        )
+        if scheme_name.endswith("-hedera")
+        else None
+    )
+
+    nearest = NearestReplicaSelector(topo, streams.stream("nearest-tiebreak"))
+    sinbad = (
+        SinbadRSelector(topo, monitor, streams.stream("sinbad-tiebreak"))
+        if monitor
+        else None
+    )
+    scheme = build_scheme(
+        scheme_name,
+        routing,
+        flowserver,
+        nearest_selector=nearest,
+        sinbad_selector=sinbad,
+        ecmp_salt=seed,
+    )
+    return ExperimentEnv(
+        loop=loop,
+        network=network,
+        routing=routing,
+        controller=controller,
+        flowserver=flowserver,
+        monitor=monitor,
+        hedera=hedera,
+        scheme=scheme,
+    )
+
+
+def run_scheme_on_workload(
+    scheme_name: str,
+    workload: Workload,
+    config: Optional[SchemeRunConfig] = None,
+    seed: int = 0,
+) -> List[JobRecord]:
+    """Run the full trace and return per-job completion records.
+
+    The workload must have been generated against the same topology shape
+    as ``config`` describes (host ids must exist).
+    """
+    config = config or SchemeRunConfig()
+    env = build_environment(scheme_name, config, seed)
+    loop, controller, scheme = env.loop, env.controller, env.scheme
+
+    records: List[JobRecord] = []
+    outstanding: Dict[str, int] = {}
+    job_info: Dict[str, tuple] = {}
+
+    def finish_flow(job_id: str) -> None:
+        outstanding[job_id] -= 1
+        if outstanding[job_id] == 0:
+            client, replicas, arrival, flows = job_info.pop(job_id)
+            records.append(
+                JobRecord(
+                    job_id=job_id,
+                    client=client,
+                    replica_choices=replicas,
+                    arrival_time=arrival,
+                    completion_time=loop.now,
+                    flows=flows,
+                )
+            )
+            del outstanding[job_id]
+
+    def start_job(job) -> None:
+        assignments = scheme.assign(
+            job.client, list(job.file.replicas), job.size_bits, job_id=job.job_id
+        )
+        if not assignments:
+            # Data-local read: completes with no network activity.
+            records.append(
+                JobRecord(
+                    job_id=job.job_id,
+                    client=job.client,
+                    replica_choices=(job.client,),
+                    arrival_time=job.arrival_time,
+                    completion_time=loop.now,
+                    flows=0,
+                )
+            )
+            return
+        outstanding[job.job_id] = len(assignments)
+        job_info[job.job_id] = (
+            job.client,
+            tuple(a.replica for a in assignments),
+            job.arrival_time,
+            len(assignments),
+        )
+        for assignment in assignments:
+            controller.start_transfer(
+                assignment.flow_id,
+                assignment.path,
+                assignment.size_bits,
+                on_complete=lambda flow, jid=job.job_id: finish_flow(jid),
+                job_id=job.job_id,
+            )
+
+    for job in workload.jobs:
+        loop.call_at(job.arrival_time, start_job, job)
+
+    # Step until every job finished; periodic monitors/pollers would keep
+    # the loop alive forever, so don't wait for an empty event queue.
+    total = len(workload.jobs)
+    while len(records) < total and loop.peek_time() is not None:
+        if loop.now > config.max_sim_seconds:
+            break
+        loop.step()
+    if env.monitor:
+        env.monitor.stop()
+    if env.flowserver:
+        env.flowserver.collector.stop()
+    if env.hedera:
+        env.hedera.stop()
+
+    if len(records) != len(workload.jobs):
+        raise RuntimeError(
+            f"{scheme_name}: only {len(records)} of {len(workload.jobs)} jobs "
+            f"finished within {config.max_sim_seconds} s — the system is saturated"
+        )
+    records.sort(key=lambda r: r.arrival_time)
+    return records
+
+
+def completion_times(records: List[JobRecord]) -> List[float]:
+    """Per-job durations in arrival order."""
+    return [r.duration for r in records]

@@ -1,0 +1,406 @@
+"""The Mayflower client library (§5).
+
+Provides an HDFS-like interface — create, read, append (write), delete —
+implemented as cooperative processes over the RPC fabric.  During reads the
+client consults a :class:`ReadPlanner` (normally the Flowserver, §3.3) to
+pick replica(s) and path(s), then asks the chosen dataserver(s) to stream
+the data.  File metadata is cached client-side: append-only semantics make
+the chunk map safe to cache, and each read reply carries the file's current
+size so appended tails are discovered without another nameserver round-trip.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Generator, List, Optional, Sequence
+
+from repro.fs.chunks import DEFAULT_CHUNK_BYTES, DEFAULT_REPLICATION, FileMetadata
+from repro.fs.consistency import ConsistencyMode, replica_candidates_for_range
+from repro.fs.errors import InvalidRequestError
+from repro.sim.engine import EventLoop
+from repro.sim.process import Process
+
+
+@dataclass(frozen=True)
+class PlannedTransfer:
+    """One transfer a read planner decided on."""
+
+    replica: str
+    size_bytes: int
+    flow_id: Optional[str] = None
+    path: Optional[object] = None  # repro.net.routing.Path when pre-routed
+
+
+class ReadPlanner:
+    """Strategy choosing replica(s) for a read.
+
+    ``plan`` is a generator (it may issue RPCs, e.g. to the Flowserver)
+    returning a list of :class:`PlannedTransfer` that together cover
+    ``size_bytes``.
+    """
+
+    def plan(
+        self,
+        client_host: str,
+        metadata: FileMetadata,
+        replicas: Sequence[str],
+        size_bytes: int,
+        job_id: Optional[str] = None,
+    ) -> Generator:
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+
+@dataclass(frozen=True)
+class ReadResult:
+    """Outcome of a client read."""
+
+    name: str
+    offset: int
+    length: int
+    duration: float
+    transfers: Sequence[PlannedTransfer]
+    file_size: int
+    data: Optional[bytes]
+
+
+@dataclass
+class _CacheEntry:
+    metadata: FileMetadata
+    cached_at: float
+
+
+class MayflowerClient:
+    """Filesystem client bound to one host.
+
+    Parameters
+    ----------
+    host_id:
+        The topology host this client runs on.
+    fabric:
+        RPC fabric shared with the servers.
+    nameserver_endpoint:
+        Where the nameserver service lives.
+    planner:
+        Read planning strategy (Flowserver-backed for Mayflower, or one of
+        the baseline planners).
+    consistency:
+        Read consistency mode (§3.4).
+    metadata_ttl:
+        Seconds a cached file→dataservers mapping stays fresh; the paper
+        ties this to replica-migration / failure timescales.
+    """
+
+    def __init__(
+        self,
+        host_id: str,
+        loop: EventLoop,
+        fabric,
+        nameserver_endpoint: str,
+        planner: ReadPlanner,
+        consistency: ConsistencyMode = ConsistencyMode.SEQUENTIAL,
+        metadata_ttl: float = 60.0,
+        max_read_attempts: int = 3,
+    ):
+        self.host_id = host_id
+        self._loop = loop
+        self._fabric = fabric
+        # One endpoint for the paper's centralized nameserver, or several
+        # for a replicated deployment (§3.3.1); calls fail over in order.
+        if isinstance(nameserver_endpoint, str):
+            self._ns_endpoints = [nameserver_endpoint]
+        else:
+            self._ns_endpoints = list(nameserver_endpoint)
+        if not self._ns_endpoints:
+            raise ValueError("at least one nameserver endpoint is required")
+        self._planner = planner
+        self.consistency = consistency
+        self.metadata_ttl = metadata_ttl
+        self.max_read_attempts = max(1, max_read_attempts)
+        self._cache: Dict[str, _CacheEntry] = {}
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.read_failovers = 0
+
+    # ------------------------------------------------------------------
+    # Namespace operations
+    # ------------------------------------------------------------------
+
+    def create(
+        self,
+        name: str,
+        replication: int = DEFAULT_REPLICATION,
+        chunk_bytes: int = DEFAULT_CHUNK_BYTES,
+    ) -> Generator:
+        """Create a file; registers the replica set on every dataserver."""
+        metadata_dict = yield from self._invoke_nameserver(
+            "create", name, replication, chunk_bytes, self.host_id
+        )
+        metadata = FileMetadata.from_json_dict(metadata_dict)
+        creates = [
+            self._spawn_invoke(replica, "dataserver", "create_file", metadata_dict)
+            for replica in metadata.replicas
+        ]
+        for proc in creates:
+            yield proc
+        self._remember(name, metadata)
+        return metadata
+
+    def delete(self, name: str) -> Generator:
+        """Delete a file from the namespace and reclaim replicas."""
+        metadata_dict = yield from self._invoke_nameserver("delete", name)
+        metadata = FileMetadata.from_json_dict(metadata_dict)
+        self._cache.pop(name, None)
+        deletes = [
+            self._spawn_invoke(replica, "dataserver", "delete_file", metadata.file_id)
+            for replica in metadata.replicas
+        ]
+        for proc in deletes:
+            yield proc
+        return metadata
+
+    def move(self, src_name: str, dst_name: str) -> Generator:
+        """Rename a file, replacing any existing destination (§3.3).
+
+        The random-write workflow: write a fresh copy under a temporary
+        name, then ``move`` it over the original — readers see either the
+        whole old file or the whole new one, never a mix.
+        """
+        result = yield from self._invoke_nameserver("move", src_name, dst_name)
+        moved = FileMetadata.from_json_dict(result["moved"])
+        replaced = (
+            FileMetadata.from_json_dict(result["replaced"])
+            if result["replaced"]
+            else None
+        )
+        cleanups = []
+        if replaced is not None:
+            cleanups.extend(
+                self._spawn_invoke(r, "dataserver", "delete_file", replaced.file_id)
+                for r in replaced.replicas
+            )
+        cleanups.extend(
+            self._spawn_invoke(r, "dataserver", "rename_file", moved.file_id, dst_name)
+            for r in moved.replicas
+        )
+        for proc in cleanups:
+            yield proc
+        self._cache.pop(src_name, None)
+        self._remember(dst_name, moved)
+        return moved
+
+    def stat(self, name: str) -> Generator:
+        """Fresh metadata straight from the nameserver (bypasses the cache)."""
+        metadata_dict = yield from self._invoke_nameserver("lookup", name)
+        metadata = FileMetadata.from_json_dict(metadata_dict)
+        self._remember(name, metadata)
+        return metadata
+
+    # ------------------------------------------------------------------
+    # Data operations
+    # ------------------------------------------------------------------
+
+    def append(
+        self, name: str, size_bytes: int, data: Optional[bytes] = None,
+        job_id: Optional[str] = None,
+    ) -> Generator:
+        """Append to a file through its primary replica; returns new size."""
+        if size_bytes <= 0:
+            raise InvalidRequestError(f"append size must be positive: {size_bytes}")
+        metadata = yield from self._metadata(name)
+        new_size = yield from self._fabric.invoke(
+            self.host_id,
+            metadata.primary,
+            "dataserver",
+            "append",
+            metadata.file_id,
+            size_bytes,
+            self.host_id,
+            data,
+            job_id,
+        )
+        self._remember(name, metadata.with_size(new_size))
+        return new_size
+
+    def read(
+        self,
+        name: str,
+        offset: int = 0,
+        length: Optional[int] = None,
+        job_id: Optional[str] = None,
+    ) -> Generator:
+        """Read ``length`` bytes at ``offset`` (defaults to the whole file).
+
+        Consults the planner per consistency sub-range, fans the transfers
+        out in parallel, and completes when the slowest transfer finishes
+        (the job completion time the paper measures).
+        """
+        started = self._loop.now
+        metadata = yield from self._metadata(name)
+        if length is None:
+            length = metadata.size_bytes - offset
+        if length <= 0 or offset < 0 or offset + length > metadata.size_bytes:
+            raise InvalidRequestError(
+                f"invalid read range {offset}+{length} of {name!r} "
+                f"(size {metadata.size_bytes})"
+            )
+
+        subranges = replica_candidates_for_range(
+            metadata, offset, length, self.consistency
+        )
+        all_transfers: List[PlannedTransfer] = []
+        readers: List[Process] = []
+        chunks: Dict[int, Optional[bytes]] = {}
+        reply_sizes: List[int] = []
+
+        slot = 0
+        for sub_offset, sub_length, replicas in subranges:
+            transfers = yield from self._planner.plan(
+                self.host_id, metadata, replicas, sub_length, job_id=job_id
+            )
+            covered = sum(t.size_bytes for t in transfers)
+            if covered != sub_length:
+                raise InvalidRequestError(
+                    f"planner covered {covered} of {sub_length} bytes"
+                )
+            cursor = sub_offset
+            for transfer in transfers:
+                all_transfers.append(transfer)
+                readers.append(
+                    self._spawn_read(
+                        metadata, transfer, cursor, slot, chunks, reply_sizes, job_id
+                    )
+                )
+                cursor += transfer.size_bytes
+                slot += 1
+
+        for proc in readers:
+            yield proc
+
+        data = None
+        if chunks and all(v is not None for v in chunks.values()):
+            data = b"".join(chunks[i] for i in sorted(chunks))
+        file_size = max(reply_sizes) if reply_sizes else metadata.size_bytes
+        if file_size != metadata.size_bytes:
+            # A concurrent append grew the file; refresh the cached size.
+            self._remember(name, metadata.with_size(file_size))
+        return ReadResult(
+            name=name,
+            offset=offset,
+            length=length,
+            duration=self._loop.now - started,
+            transfers=tuple(all_transfers),
+            file_size=file_size,
+            data=data,
+        )
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _invoke_nameserver(self, method: str, *args) -> Generator:
+        """Call the nameserver, failing over across replica endpoints.
+
+        Both whole-host failures (HostDown) and crashed nameserver
+        processes (ServiceNotFound) trigger the failover.
+        """
+        from repro.rpc.errors import HostDownError, ServiceNotFoundError
+
+        last_error: Optional[Exception] = None
+        for endpoint in self._ns_endpoints:
+            try:
+                result = yield from self._fabric.invoke(
+                    self.host_id, endpoint, "nameserver", method, *args
+                )
+                return result
+            except (HostDownError, ServiceNotFoundError) as err:
+                last_error = err
+                continue
+        raise HostDownError(
+            f"no nameserver replica reachable for {method!r}: {last_error}"
+        )
+
+    def _metadata(self, name: str) -> Generator:
+        entry = self._cache.get(name)
+        if entry is not None and self._loop.now - entry.cached_at <= self.metadata_ttl:
+            self.cache_hits += 1
+            return entry.metadata
+        self.cache_misses += 1
+        metadata_dict = yield from self._invoke_nameserver("lookup", name)
+        metadata = FileMetadata.from_json_dict(metadata_dict)
+        self._remember(name, metadata)
+        return metadata
+
+    def _remember(self, name: str, metadata: FileMetadata) -> None:
+        self._cache[name] = _CacheEntry(metadata=metadata, cached_at=self._loop.now)
+
+    def _spawn_invoke(self, endpoint: str, service: str, method: str, *args) -> Process:
+        def body():
+            return (
+                yield from self._fabric.invoke(
+                    self.host_id, endpoint, service, method, *args
+                )
+            )
+
+        return Process(self._loop, body(), name=f"{service}.{method}@{endpoint}")
+
+    def _spawn_read(
+        self,
+        metadata: FileMetadata,
+        transfer: PlannedTransfer,
+        file_offset: int,
+        slot: int,
+        chunks: Dict[int, Optional[bytes]],
+        reply_sizes: List[int],
+        job_id: Optional[str],
+    ) -> Process:
+        def attempt(replica, flow_id, path):
+            reply = yield from self._fabric.invoke(
+                self.host_id,
+                replica,
+                "dataserver",
+                "serve_read",
+                metadata.file_id,
+                file_offset,
+                transfer.size_bytes,
+                self.host_id,
+                flow_id,
+                path,
+                job_id,
+            )
+            return reply
+
+        def body():
+            from repro.rpc.errors import HostDownError
+
+            tried = []
+            last_error: Optional[Exception] = None
+            replica, flow_id, path = transfer.replica, transfer.flow_id, transfer.path
+            for attempt_index in range(self.max_read_attempts):
+                try:
+                    reply = yield from attempt(replica, flow_id, path)
+                except HostDownError as err:
+                    # Failover: retry the same range from another replica;
+                    # the pre-arranged flow/path died with the host, so the
+                    # data plane re-routes (ECMP) on the retry.
+                    tried.append(replica)
+                    last_error = err
+                    alternatives = [
+                        r for r in metadata.replicas if r not in tried
+                    ]
+                    if not alternatives or attempt_index + 1 >= self.max_read_attempts:
+                        break
+                    replica, flow_id, path = alternatives[0], None, None
+                    self.read_failovers += 1
+                    continue
+                chunks[slot] = reply.data
+                reply_sizes.append(reply.file_size)
+                return reply
+            from repro.fs.errors import ReplicaUnavailableError
+
+            raise ReplicaUnavailableError(
+                f"read of {metadata.name!r} range {file_offset}+"
+                f"{transfer.size_bytes} failed on replicas {tried}: {last_error}"
+            )
+
+        return Process(self._loop, body(), name=f"read:{metadata.name}:{slot}")

@@ -1,0 +1,57 @@
+"""Consistency modes (§3.4).
+
+* ``SEQUENTIAL`` (default) — appends are ordered by the file's primary
+  replica host; reads may go to *any* replica, so a reader can briefly
+  miss the newest appended tail.
+* ``STRONG`` — reads of the **last chunk** must be served by the primary
+  (which has ordered every append), while all other chunks are immutable
+  under append-only semantics and may still be served by any replica.
+  This is Mayflower's key consistency optimization: for multi-gigabyte
+  files, the vast majority of chunks keep full replica-selection freedom.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import List, Sequence, Tuple
+
+from repro.fs.chunks import FileMetadata
+
+
+class ConsistencyMode(enum.Enum):
+    SEQUENTIAL = "sequential"
+    STRONG = "strong"
+
+
+def replica_candidates_for_range(
+    metadata: FileMetadata,
+    offset: int,
+    length: int,
+    mode: ConsistencyMode,
+) -> List[Tuple[int, int, Sequence[str]]]:
+    """Split a read range into sub-ranges with their eligible replicas.
+
+    Returns ``[(offset, length, replicas), ...]``.  Under ``SEQUENTIAL``
+    (or when the range avoids the last chunk) this is one sub-range with
+    every replica eligible.  Under ``STRONG``, the portion falling in the
+    last chunk is split off and pinned to the primary.
+    """
+    if offset < 0 or length <= 0:
+        raise ValueError(f"invalid read range offset={offset} length={length}")
+    end = offset + length
+    all_replicas = list(metadata.replicas)
+    if mode is ConsistencyMode.SEQUENTIAL or metadata.num_chunks == 0:
+        return [(offset, length, all_replicas)]
+
+    last_chunk_start = metadata.last_chunk_index() * metadata.chunk_bytes
+    if end <= last_chunk_start:
+        # Entirely within immutable chunks.
+        return [(offset, length, all_replicas)]
+    if offset >= last_chunk_start:
+        # Entirely within the mutable last chunk -> primary only.
+        return [(offset, length, [metadata.primary])]
+    # Straddles the boundary: immutable head + primary-pinned tail.
+    return [
+        (offset, last_chunk_start - offset, all_replicas),
+        (last_chunk_start, end - last_chunk_start, [metadata.primary]),
+    ]

@@ -1,0 +1,401 @@
+"""The dataserver (§3.3.2).
+
+Stores file chunks, services reads, and — when it is a file's primary —
+orders appends and relays them to the other replica hosts.  Key semantics
+from the paper:
+
+* files are append-only; each file is a directory named by its UUID with
+  numbered chunk files inside (modelled as an in-memory chunk list, with
+  optional real payloads for functional tests);
+* only one append is serviced at a time per file (atomic appends);
+* reads may run concurrently with an append *unless* they touch the last
+  chunk, which the append mutates;
+* every read reply carries the file's current size, which is how clients
+  discover chunks appended by others despite caching the chunk map.
+
+The dataserver exchanges control messages over the RPC fabric and moves
+data through a :class:`DataPlane` (bulk transfers ride the congestion
+simulator; the cluster layer provides the concrete implementation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Generator, List, Optional, Tuple
+
+from repro.fs.chunks import FileMetadata
+from repro.fs.errors import FileNotFoundFsError, InvalidRequestError
+from repro.sim.engine import EventLoop
+from repro.sim.process import Signal
+
+
+class DataPlane:
+    """Interface the dataserver uses to move bulk data between hosts.
+
+    ``transfer`` is a generator (process-style): it completes when the
+    last byte has been delivered.  ``flow_id``/``path`` are optional
+    pre-arranged routing decisions (a Mayflower read supplies them; writes
+    and baseline reads let the data plane pick, e.g. via ECMP).
+    """
+
+    def transfer(
+        self,
+        src: str,
+        dst: str,
+        size_bytes: int,
+        flow_id: Optional[str] = None,
+        path=None,
+        job_id: Optional[str] = None,
+    ) -> Generator:
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+
+@dataclass
+class StoredFile:
+    """One file replica on this dataserver."""
+
+    metadata: FileMetadata
+    size_bytes: int = 0
+    chunks: List[int] = field(default_factory=list)  # per-chunk byte counts
+    payload: Optional[bytearray] = None  # real bytes when store_payload
+    appending: bool = False
+    append_waiters: List[Signal] = field(default_factory=list)
+
+
+@dataclass(frozen=True)
+class ReadReply:
+    """Reply to a read RPC: data (when payloads are stored) + current size."""
+
+    file_id: str
+    offset: int
+    length: int
+    file_size: int
+    data: Optional[bytes]
+
+
+class Dataserver:
+    """Chunk storage and append coordination for one host."""
+
+    def __init__(
+        self,
+        host_id: str,
+        loop: EventLoop,
+        fabric,
+        dataplane: DataPlane,
+        store_payload: bool = False,
+        nameserver_endpoint: Optional[str] = None,
+    ):
+        self.host_id = host_id
+        self._loop = loop
+        self._fabric = fabric
+        self._dataplane = dataplane
+        self.store_payload = store_payload
+        self._nameserver = nameserver_endpoint
+        self._files: Dict[str, StoredFile] = {}
+        self.appends_served = 0
+        self.reads_served = 0
+
+    # ------------------------------------------------------------------
+    # File lifecycle (control plane)
+    # ------------------------------------------------------------------
+
+    def create_file(self, metadata_dict: dict) -> str:
+        """Create an empty local replica of a file (idempotent)."""
+        metadata = FileMetadata.from_json_dict(metadata_dict)
+        if metadata.file_id not in self._files:
+            self._files[metadata.file_id] = StoredFile(
+                metadata=metadata,
+                payload=bytearray() if self.store_payload else None,
+            )
+        return metadata.file_id
+
+    def delete_file(self, file_id: str) -> bool:
+        """Drop the local replica; returns whether it existed."""
+        return self._files.pop(file_id, None) is not None
+
+    def has_file(self, file_id: str) -> bool:
+        return file_id in self._files
+
+    def rename_file(self, file_id: str, new_name: str) -> bool:
+        """Update the local metadata's name after a namespace move."""
+        stored = self._stored(file_id)
+        from dataclasses import replace
+
+        stored.metadata = replace(stored.metadata, name=new_name)
+        return True
+
+    def file_size(self, file_id: str) -> int:
+        return self._stored(file_id).size_bytes
+
+    def list_files(self) -> List[dict]:
+        """Local metadata of every replica held here (nameserver rebuild).
+
+        Sizes reflect this replica's committed length, which on the primary
+        is authoritative.
+        """
+        result = []
+        for stored in self._files.values():
+            meta = stored.metadata.with_size(stored.size_bytes)
+            result.append(meta.to_json_dict())
+        return sorted(result, key=lambda m: m["file_id"])
+
+    # ------------------------------------------------------------------
+    # Appends (data plane; primary orders and relays)
+    # ------------------------------------------------------------------
+
+    def append(
+        self,
+        file_id: str,
+        size_bytes: int,
+        from_host: str,
+        data: Optional[bytes] = None,
+        job_id: Optional[str] = None,
+    ) -> Generator:
+        """Primary-side append: receive, commit locally, relay to replicas.
+
+        Appends to the same file are serialized (atomic append); the reply
+        is the file's new size after this append commits on every replica.
+        """
+        stored = self._stored(file_id)
+        if size_bytes <= 0:
+            raise InvalidRequestError(f"append size must be positive, got {size_bytes}")
+        if data is not None and len(data) != size_bytes:
+            raise InvalidRequestError("append data length does not match size")
+        if stored.metadata.primary != self.host_id:
+            raise InvalidRequestError(
+                f"append sent to non-primary {self.host_id} "
+                f"(primary is {stored.metadata.primary})"
+            )
+
+        yield from self._acquire_append_lock(stored)
+        try:
+            # 1. Pull the data from the writer.
+            yield from self._dataplane.transfer(
+                from_host, self.host_id, size_bytes, job_id=job_id
+            )
+            # 2. Commit locally.
+            self._commit_append(stored, size_bytes, data)
+            # 3. Relay to the secondary replicas (in parallel).
+            relays = []
+            for replica in stored.metadata.replicas[1:]:
+                relays.append(
+                    self._spawn_relay(replica, stored, size_bytes, data, job_id)
+                )
+            for proc in relays:
+                yield proc
+            # 4. Report the committed size to the nameserver so lookups see
+            #    the new length (§3.3.1).
+            if self._nameserver is not None:
+                yield from self._fabric.invoke(
+                    self.host_id,
+                    self._nameserver,
+                    "nameserver",
+                    "record_append",
+                    stored.metadata.name,
+                    stored.size_bytes,
+                )
+            self.appends_served += 1
+            return stored.size_bytes
+        finally:
+            self._release_append_lock(stored)
+
+    def replica_append(
+        self,
+        file_id: str,
+        size_bytes: int,
+        from_host: str,
+        data: Optional[bytes] = None,
+        job_id: Optional[str] = None,
+    ) -> Generator:
+        """Secondary-side append: receive relayed data and commit."""
+        stored = self._stored(file_id)
+        yield from self._acquire_append_lock(stored)
+        try:
+            yield from self._dataplane.transfer(
+                from_host, self.host_id, size_bytes, job_id=job_id
+            )
+            self._commit_append(stored, size_bytes, data)
+            return stored.size_bytes
+        finally:
+            self._release_append_lock(stored)
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+
+    def serve_read(
+        self,
+        file_id: str,
+        offset: int,
+        length: int,
+        to_host: str,
+        flow_id: Optional[str] = None,
+        path=None,
+        job_id: Optional[str] = None,
+    ) -> Generator:
+        """Send ``length`` bytes starting at ``offset`` to ``to_host``.
+
+        Completes when the last byte is delivered.  Reads touching the
+        last chunk wait for any in-flight append (§3.3.2).
+        """
+        stored = self._stored(file_id)
+        if offset < 0 or length <= 0:
+            raise InvalidRequestError(f"invalid read range {offset}+{length}")
+        if self._touches_last_chunk(stored, offset, length):
+            yield from self._wait_for_append(stored)
+        if offset + length > stored.size_bytes:
+            raise InvalidRequestError(
+                f"read past end of file: {offset}+{length} > {stored.size_bytes}"
+            )
+        yield from self._dataplane.transfer(
+            self.host_id, to_host, length, flow_id=flow_id, path=path, job_id=job_id
+        )
+        self.reads_served += 1
+        data = None
+        if stored.payload is not None:
+            data = bytes(stored.payload[offset : offset + length])
+        return ReadReply(
+            file_id=file_id,
+            offset=offset,
+            length=length,
+            file_size=stored.size_bytes,
+            data=data,
+        )
+
+    def push_replica(self, file_id: str, target_host: str) -> Generator:
+        """Copy this replica to ``target_host`` (re-replication source side).
+
+        Moves the committed bytes over the data plane, then installs the
+        replica remotely.  Used by the replica manager when a dataserver
+        dies and the file drops below its replication factor.
+        """
+        stored = self._stored(file_id)
+        yield from self._dataplane.transfer(
+            self.host_id, target_host, stored.size_bytes
+        )
+        payload = bytes(stored.payload) if stored.payload is not None else None
+        metadata = stored.metadata.with_size(stored.size_bytes)
+        result = yield from self._fabric.invoke(
+            self.host_id,
+            target_host,
+            "dataserver",
+            "install_replica",
+            metadata.to_json_dict(),
+            stored.size_bytes,
+            payload,
+        )
+        return result
+
+    def install_replica(
+        self, metadata_dict: dict, size_bytes: int, payload: Optional[bytes] = None
+    ) -> str:
+        """Receive a pushed replica: create the file and commit its bytes."""
+        file_id = self.create_file(metadata_dict)
+        stored = self._stored(file_id)
+        if stored.size_bytes < size_bytes:
+            delta = size_bytes - stored.size_bytes
+            data = payload[stored.size_bytes:] if payload is not None else None
+            self._commit_append(stored, delta, data)
+        return file_id
+
+    def load_preexisting(self, file_id: str, size_bytes: int) -> None:
+        """Materialize pre-existing data without network transfers.
+
+        A bootstrap/fixture hook for experiments whose corpus existed
+        before the measurement window (e.g. Fig. 8's read workload); it
+        commits chunks exactly as a completed append would, but moves no
+        bytes over the data plane.
+        """
+        stored = self._stored(file_id)
+        if size_bytes < 0:
+            raise InvalidRequestError(f"size must be non-negative, got {size_bytes}")
+        if size_bytes > 0:
+            self._commit_append(stored, size_bytes, None)
+
+    def stat(self, file_id: str) -> Tuple[int, int]:
+        """(size_bytes, num_chunks) of the local replica."""
+        stored = self._stored(file_id)
+        num_chunks = -(-stored.size_bytes // stored.metadata.chunk_bytes)
+        return stored.size_bytes, num_chunks
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _stored(self, file_id: str) -> StoredFile:
+        stored = self._files.get(file_id)
+        if stored is None:
+            raise FileNotFoundFsError(f"no file {file_id!r} on {self.host_id}")
+        return stored
+
+    def _commit_append(
+        self, stored: StoredFile, size_bytes: int, data: Optional[bytes]
+    ) -> None:
+        chunk_bytes = stored.metadata.chunk_bytes
+        remaining = size_bytes
+        while remaining > 0:
+            if not stored.chunks or stored.chunks[-1] >= chunk_bytes:
+                stored.chunks.append(0)
+            room = chunk_bytes - stored.chunks[-1]
+            take = min(room, remaining)
+            stored.chunks[-1] += take
+            remaining -= take
+        stored.size_bytes += size_bytes
+        if stored.payload is not None:
+            stored.payload.extend(data if data is not None else b"\x00" * size_bytes)
+
+    def _touches_last_chunk(self, stored: StoredFile, offset: int, length: int) -> bool:
+        if not stored.appending:
+            return False
+        chunk_bytes = stored.metadata.chunk_bytes
+        last_start = max(0, (len(stored.chunks) - 1)) * chunk_bytes
+        return offset + length > last_start
+
+    def _wait_for_append(self, stored: StoredFile) -> Generator:
+        """Block (without acquiring) until no append is in flight."""
+        while stored.appending:
+            waiter = Signal(self._loop, name=f"read-wait:{stored.metadata.file_id}")
+            stored.append_waiters.append(waiter)
+            yield waiter
+
+    def _acquire_append_lock(self, stored: StoredFile) -> Generator:
+        while stored.appending:
+            waiter = Signal(self._loop, name=f"append-wait:{stored.metadata.file_id}")
+            stored.append_waiters.append(waiter)
+            yield waiter
+        stored.appending = True
+
+    def _release_append_lock(self, stored: StoredFile) -> None:
+        stored.appending = False
+        waiters, stored.append_waiters = stored.append_waiters, []
+        for waiter in waiters:
+            waiter.fire()
+
+    def _spawn_relay(
+        self,
+        replica: str,
+        stored: StoredFile,
+        size_bytes: int,
+        data: Optional[bytes],
+        job_id: Optional[str],
+    ):
+        from repro.sim.process import Process
+
+        def relay():
+            result = yield from self._fabric.invoke(
+                self.host_id,
+                replica,
+                "dataserver",
+                "replica_append",
+                stored.metadata.file_id,
+                size_bytes,
+                self.host_id,
+                data,
+                job_id,
+            )
+            return result
+
+        return Process(
+            self._loop, relay(), name=f"relay:{stored.metadata.file_id}->{replica}"
+        )

@@ -1,0 +1,23 @@
+"""Filesystem error types."""
+
+from __future__ import annotations
+
+
+class FsError(Exception):
+    """Base class for Mayflower filesystem errors."""
+
+
+class FileNotFoundFsError(FsError):
+    """The named file does not exist (or was deleted)."""
+
+
+class FileAlreadyExistsError(FsError):
+    """Creation of a file whose name is already taken."""
+
+
+class ReplicaUnavailableError(FsError):
+    """No reachable replica can serve the request."""
+
+
+class InvalidRequestError(FsError):
+    """Malformed client request (bad offsets, sizes, etc.)."""

@@ -1,0 +1,262 @@
+"""The nameserver (§3.3.1).
+
+Manages the filesystem namespace: file→chunks and file→dataservers
+mappings, stored in a persistent key-value database (the paper uses
+LevelDB with fsync off; we use :mod:`repro.kvstore` identically
+configured).  Placement happens here at creation time using static
+fault-domain information.
+
+Recovery: after a *graceful* shutdown the database is authoritative;
+after an *unexpected* restart the nameserver distrusts the possibly-stale
+database and rebuilds the mappings by scanning the file metadata stored
+at the dataservers (:meth:`Nameserver.rebuild_from_dataservers`).
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from pathlib import Path
+from typing import Generator, List, Optional
+
+from repro.fs.chunks import (
+    DEFAULT_CHUNK_BYTES,
+    DEFAULT_REPLICATION,
+    FileMetadata,
+)
+from repro.fs.errors import (
+    FileAlreadyExistsError,
+    FileNotFoundFsError,
+    InvalidRequestError,
+)
+from repro.fs.placement import PlacementPolicy
+from repro.kvstore import KVStore, KVStoreConfig
+
+_FILE_PREFIX = "file/"
+
+
+class Nameserver:
+    """Centralized namespace manager.
+
+    Parameters
+    ----------
+    db_directory:
+        Backing store location for the metadata database.
+    placement:
+        Policy choosing replica hosts for new files.
+    rng:
+        Used to derive deterministic file ids (UUID-shaped) so whole
+        simulations are reproducible from one seed.
+    """
+
+    def __init__(
+        self,
+        db_directory: Path,
+        placement: PlacementPolicy,
+        rng: Optional[random.Random] = None,
+    ):
+        # The paper runs LevelDB with fsync off to speed up creates/deletes.
+        self._db = KVStore(Path(db_directory), KVStoreConfig(sync_wal=False))
+        self._placement = placement
+        self._rng = rng or random.Random(0)
+        self.creates = 0
+        self.deletes = 0
+        self.lookups = 0
+
+    # ------------------------------------------------------------------
+    # RPC surface
+    # ------------------------------------------------------------------
+
+    def create(
+        self,
+        name: str,
+        replication: int = DEFAULT_REPLICATION,
+        chunk_bytes: int = DEFAULT_CHUNK_BYTES,
+        writer: Optional[str] = None,
+    ) -> dict:
+        """Create a file: place replicas and persist the mapping.
+
+        ``writer`` (the creating client's host, when known) lets
+        congestion-aware placement policies score the write path.
+        Returns the metadata as a JSON dict (the RPC wire format).
+        """
+        if not name:
+            raise InvalidRequestError("file name must be non-empty")
+        if self._db.get(_FILE_PREFIX + name) is not None:
+            raise FileAlreadyExistsError(f"file {name!r} already exists")
+        replicas = self._placement.place(replication, writer=writer)
+        metadata = FileMetadata(
+            name=name,
+            file_id=self._new_file_id(),
+            size_bytes=0,
+            chunk_bytes=chunk_bytes,
+            replicas=tuple(replicas),
+        )
+        self._db.put(_FILE_PREFIX + name, json.dumps(metadata.to_json_dict()))
+        self.creates += 1
+        return metadata.to_json_dict()
+
+    def install(self, metadata_dict: dict) -> Optional[dict]:
+        """Insert pre-built metadata (the replicated-state-machine path).
+
+        Placement has already been decided by the proposer, so this applies
+        deterministically on every replica.  Returns the metadata, or
+        ``None`` when the name is already taken (a duplicate create that
+        lost the race in the log).
+        """
+        name = metadata_dict["name"]
+        if self._db.get(_FILE_PREFIX + name) is not None:
+            return None
+        self._db.put(_FILE_PREFIX + name, json.dumps(metadata_dict))
+        self.creates += 1
+        return metadata_dict
+
+    def new_file_id(self) -> str:
+        """A fresh deterministic file id (used by the replication layer)."""
+        return self._new_file_id()
+
+    def lookup(self, name: str) -> dict:
+        """Fetch a file's metadata (including its current size)."""
+        raw = self._db.get(_FILE_PREFIX + name)
+        if raw is None:
+            raise FileNotFoundFsError(f"no file named {name!r}")
+        self.lookups += 1
+        return json.loads(raw)
+
+    def exists(self, name: str) -> bool:
+        return self._db.get(_FILE_PREFIX + name) is not None
+
+    def delete(self, name: str) -> dict:
+        """Remove a file from the namespace; returns its final metadata.
+
+        The caller (client library) is responsible for telling the replica
+        dataservers to reclaim the chunks.
+        """
+        raw = self._db.get(_FILE_PREFIX + name)
+        if raw is None:
+            raise FileNotFoundFsError(f"no file named {name!r}")
+        self._db.delete(_FILE_PREFIX + name)
+        self.deletes += 1
+        return json.loads(raw)
+
+    def move(self, src_name: str, dst_name: str) -> dict:
+        """Atomically rename ``src_name`` to ``dst_name``.
+
+        If the destination exists it is replaced — this is the §3.3
+        random-write emulation primitive ("creating and modifying a new
+        copy of the file and using a move operation to overwrite the
+        original").  Returns ``{"moved": metadata, "replaced":
+        metadata-or-None}``; the caller reclaims the replaced replicas.
+        """
+        if not dst_name:
+            raise InvalidRequestError("destination name must be non-empty")
+        if src_name == dst_name:
+            raise InvalidRequestError("move source and destination are identical")
+        raw = self._db.get(_FILE_PREFIX + src_name)
+        if raw is None:
+            raise FileNotFoundFsError(f"no file named {src_name!r}")
+        replaced_raw = self._db.get(_FILE_PREFIX + dst_name)
+        replaced = json.loads(replaced_raw) if replaced_raw else None
+        metadata = FileMetadata.from_json_dict(json.loads(raw))
+        moved = FileMetadata(
+            name=dst_name,
+            file_id=metadata.file_id,
+            size_bytes=metadata.size_bytes,
+            chunk_bytes=metadata.chunk_bytes,
+            replicas=metadata.replicas,
+        )
+        self._db.delete(_FILE_PREFIX + src_name)
+        self._db.put(_FILE_PREFIX + dst_name, json.dumps(moved.to_json_dict()))
+        return {"moved": moved.to_json_dict(), "replaced": replaced}
+
+    def record_append(self, name: str, new_size_bytes: int) -> int:
+        """Primary dataserver reports a committed append; size is monotonic."""
+        raw = self._db.get(_FILE_PREFIX + name)
+        if raw is None:
+            raise FileNotFoundFsError(f"no file named {name!r}")
+        metadata = FileMetadata.from_json_dict(json.loads(raw))
+        if new_size_bytes < metadata.size_bytes:
+            raise InvalidRequestError(
+                f"append would shrink {name!r}: "
+                f"{new_size_bytes} < {metadata.size_bytes}"
+            )
+        updated = metadata.with_size(new_size_bytes)
+        self._db.put(_FILE_PREFIX + name, json.dumps(updated.to_json_dict()))
+        return new_size_bytes
+
+    def update_replicas(self, name: str, replicas: List[str]) -> dict:
+        """Replace a file's replica set (re-replication / migration).
+
+        ``replicas[0]`` becomes the primary, so passing survivors first
+        promotes a live host when the old primary died.
+        """
+        raw = self._db.get(_FILE_PREFIX + name)
+        if raw is None:
+            raise FileNotFoundFsError(f"no file named {name!r}")
+        if not replicas or len(set(replicas)) != len(replicas):
+            raise InvalidRequestError(f"invalid replica set {replicas!r}")
+        metadata = FileMetadata.from_json_dict(json.loads(raw))
+        updated = FileMetadata(
+            name=metadata.name,
+            file_id=metadata.file_id,
+            size_bytes=metadata.size_bytes,
+            chunk_bytes=metadata.chunk_bytes,
+            replicas=tuple(replicas),
+        )
+        self._db.put(_FILE_PREFIX + name, json.dumps(updated.to_json_dict()))
+        return updated.to_json_dict()
+
+    def list_files(self) -> List[str]:
+        """All file names, sorted."""
+        return [key[len(_FILE_PREFIX):] for key, _ in self._db.scan(_FILE_PREFIX)]
+
+    # ------------------------------------------------------------------
+    # Recovery
+    # ------------------------------------------------------------------
+
+    def rebuild_from_dataservers(self, fabric, self_endpoint: str, dataserver_hosts) -> Generator:
+        """Unexpected-restart path: rebuild mappings by scanning dataservers.
+
+        Clears the (possibly stale) database and repopulates it from the
+        metadata each dataserver stores alongside its chunks.  The primary
+        replica's reported size wins (it ordered every append).
+        """
+        for key, _ in list(self._db.scan(_FILE_PREFIX)):
+            self._db.delete(key)
+        recovered = {}
+        for host in dataserver_hosts:
+            listings = yield from fabric.invoke(
+                self_endpoint, host, "dataserver", "list_files"
+            )
+            for metadata_dict in listings:
+                metadata = FileMetadata.from_json_dict(metadata_dict)
+                existing = recovered.get(metadata.name)
+                # Trust the primary's size; otherwise keep the largest seen.
+                if existing is None:
+                    recovered[metadata.name] = (metadata, host == metadata.primary)
+                else:
+                    current, from_primary = existing
+                    if host == metadata.primary:
+                        recovered[metadata.name] = (metadata, True)
+                    elif not from_primary and metadata.size_bytes > current.size_bytes:
+                        recovered[metadata.name] = (metadata, False)
+        for name, (metadata, _) in sorted(recovered.items()):
+            self._db.put(_FILE_PREFIX + name, json.dumps(metadata.to_json_dict()))
+        return len(recovered)
+
+    def close(self) -> None:
+        """Graceful shutdown: flush the database so restart is instant."""
+        self._db.close()
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _new_file_id(self) -> str:
+        """Deterministic UUID-shaped id derived from the seeded RNG."""
+        bits = self._rng.getrandbits(128)
+        hex32 = f"{bits:032x}"
+        return (
+            f"{hex32[0:8]}-{hex32[8:12]}-{hex32[12:16]}-"
+            f"{hex32[16:20]}-{hex32[20:32]}"
+        )

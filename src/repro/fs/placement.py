@@ -1,0 +1,159 @@
+"""Replica placement policies.
+
+Placement is decided by the nameserver at file creation using static
+fault-domain constraints (§3.3): replicas avoid sharing a rack and at
+least one lives in a different pod.
+
+Two concrete policies:
+
+* :class:`PaperEvalPlacement` — the evaluation's traffic matrix (§6.1):
+  primary on a uniform-random server, second replica in the *same pod but
+  a different rack*, third replica in a *different pod*.
+* :class:`HdfsRackAwarePlacement` — the HDFS-style default described in
+  §5: two replicas in the same rack, further replicas in other randomly
+  selected racks.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+from repro.fs.errors import InvalidRequestError
+from repro.net.topology import Topology
+
+
+class PlacementPolicy:
+    """Interface: choose replica hosts for a new file.
+
+    ``writer`` (when known) is the host creating the file; congestion-
+    aware policies use it to score the write path, static policies
+    ignore it.
+    """
+
+    def place(self, replication: int, writer: Optional[str] = None) -> List[str]:
+        """Return ``replication`` distinct host ids; index 0 is the primary."""
+        raise NotImplementedError
+
+
+def _choice(rng: random.Random, items: Sequence[str]) -> str:
+    if not items:
+        raise InvalidRequestError("no eligible host for replica placement")
+    return items[rng.randrange(len(items))]
+
+
+class PaperEvalPlacement(PlacementPolicy):
+    """§6.1 placement: primary uniform; 2nd same-pod/other-rack; 3rd other-pod.
+
+    Replication factors beyond 3 place extra replicas in randomly selected
+    racks not already used (mirroring "any further replicas are placed in
+    other randomly selected racks").
+    """
+
+    def __init__(self, topology: Topology, rng: random.Random):
+        self._topo = topology
+        self._rng = rng
+        self._hosts = sorted(topology.hosts)
+
+    def place(self, replication: int, writer: Optional[str] = None) -> List[str]:
+        if replication < 1:
+            raise InvalidRequestError(f"replication must be >= 1, got {replication}")
+        primary = _choice(self._rng, self._hosts)
+        chosen = [primary]
+        if replication == 1:
+            return chosen
+        primary_host = self._topo.hosts[primary]
+
+        same_pod_other_rack = sorted(
+            h.host_id
+            for h in self._topo.hosts.values()
+            if h.pod == primary_host.pod and h.rack != primary_host.rack
+        )
+        if same_pod_other_rack:
+            chosen.append(_choice(self._rng, same_pod_other_rack))
+        if replication == 2:
+            return chosen[:2]
+
+        other_pod = sorted(
+            h.host_id
+            for h in self._topo.hosts.values()
+            if h.pod != primary_host.pod
+        )
+        if other_pod:
+            chosen.append(_choice(self._rng, other_pod))
+
+        while len(chosen) < replication:
+            used_racks = {self._topo.hosts[c].rack for c in chosen}
+            remaining = sorted(
+                h.host_id
+                for h in self._topo.hosts.values()
+                if h.rack not in used_racks and h.host_id not in chosen
+            )
+            if not remaining:
+                remaining = sorted(set(self._hosts) - set(chosen))
+            if not remaining:
+                raise InvalidRequestError(
+                    f"cannot place {replication} replicas on {len(self._hosts)} hosts"
+                )
+            chosen.append(_choice(self._rng, remaining))
+        return chosen[:replication]
+
+
+class HdfsRackAwarePlacement(PlacementPolicy):
+    """§5 placement: two replicas share the primary's rack, the rest spread."""
+
+    def __init__(self, topology: Topology, rng: random.Random):
+        self._topo = topology
+        self._rng = rng
+        self._hosts = sorted(topology.hosts)
+
+    def place(self, replication: int, writer: Optional[str] = None) -> List[str]:
+        if replication < 1:
+            raise InvalidRequestError(f"replication must be >= 1, got {replication}")
+        primary = _choice(self._rng, self._hosts)
+        chosen = [primary]
+        if replication == 1:
+            return chosen
+        primary_host = self._topo.hosts[primary]
+
+        same_rack = sorted(
+            h.host_id
+            for h in self._topo.hosts.values()
+            if h.rack == primary_host.rack and h.host_id != primary
+        )
+        if same_rack:
+            chosen.append(_choice(self._rng, same_rack))
+
+        while len(chosen) < replication:
+            used_racks = {self._topo.hosts[c].rack for c in chosen[1:]} | {
+                primary_host.rack
+            }
+            remaining = sorted(
+                h.host_id
+                for h in self._topo.hosts.values()
+                if h.rack not in used_racks and h.host_id not in chosen
+            )
+            if not remaining:
+                remaining = sorted(set(self._hosts) - set(chosen))
+            if not remaining:
+                raise InvalidRequestError(
+                    f"cannot place {replication} replicas on {len(self._hosts)} hosts"
+                )
+            chosen.append(_choice(self._rng, remaining))
+        return chosen[:replication]
+
+
+def validate_fault_domains(topology: Topology, replicas: Sequence[str]) -> List[str]:
+    """Check §3.1's constraints; returns a list of violations (empty = ok).
+
+    Constraints checked (for replication >= 3 on multi-pod topologies):
+    replicas are distinct hosts, no two share a rack (paper-eval policy),
+    and at least one replica lives in a different pod.
+    """
+    problems = []
+    if len(set(replicas)) != len(replicas):
+        problems.append("duplicate replica hosts")
+    pods = {topology.hosts[r].pod for r in replicas}
+    if len(replicas) >= 3 and len(topology.pods()) > 1 and len(pods) < 2:
+        problems.append("all replicas in one pod")
+    return problems

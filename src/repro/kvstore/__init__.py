@@ -1,0 +1,29 @@
+"""Log-structured key-value store (the nameserver's LevelDB stand-in).
+
+The paper stores nameserver mappings in LevelDB "with fsync off in order
+to speed up file creation and deletion", relying on in-memory serving and
+using persistence only to speed up restarts after a graceful shutdown.
+This package reproduces that storage contract with the classic
+LSM-tree shape:
+
+* :mod:`repro.kvstore.wal` — append-only write-ahead log;
+* :mod:`repro.kvstore.memtable` — the in-memory sorted buffer;
+* :mod:`repro.kvstore.sstable` — immutable sorted string tables with an
+  embedded sparse index;
+* :mod:`repro.kvstore.db` — the database: put/get/delete/scan, memtable
+  flush, compaction, and WAL/SSTable recovery.
+"""
+
+from repro.kvstore.db import KVStore, KVStoreConfig
+from repro.kvstore.memtable import MemTable
+from repro.kvstore.sstable import SSTable, write_sstable
+from repro.kvstore.wal import WriteAheadLog
+
+__all__ = [
+    "KVStore",
+    "KVStoreConfig",
+    "MemTable",
+    "SSTable",
+    "WriteAheadLog",
+    "write_sstable",
+]

@@ -1,0 +1,213 @@
+"""The key-value database tying WAL, memtable and SSTables together.
+
+Write path: WAL append → memtable; the memtable flushes to a new SSTable
+when it exceeds ``flush_threshold_bytes``, after which the WAL is
+truncated.  Read path: memtable, then SSTables newest-first (tombstones
+shadow).  When the table count exceeds ``compaction_trigger`` the tables
+are merged into one and tombstones dropped.
+
+Recovery (:meth:`KVStore.open`): load the MANIFEST's table list, then
+replay the WAL's intact prefix into a fresh memtable — matching the
+nameserver's "persistence is a restart accelerator" usage (§3.3.1).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.kvstore.memtable import TOMBSTONE, MemTable
+from repro.kvstore.sstable import SSTable, merge_tables, write_sstable
+from repro.kvstore.wal import WriteAheadLog, replay
+from repro.kvstore.wal import DELETE as WAL_DELETE
+from repro.kvstore.wal import PUT as WAL_PUT
+
+
+@dataclass
+class KVStoreConfig:
+    """Tunables for the store.
+
+    Attributes
+    ----------
+    flush_threshold_bytes:
+        Memtable size that triggers a flush to SSTable.
+    compaction_trigger:
+        Number of SSTables that triggers a full compaction.
+    sync_wal:
+        fsync the WAL on every append (the paper runs with this off).
+    """
+
+    flush_threshold_bytes: int = 4 * 1024 * 1024
+    compaction_trigger: int = 4
+    sync_wal: bool = False
+
+
+class KVStore:
+    """A LevelDB-shaped persistent key-value store."""
+
+    MANIFEST = "MANIFEST.json"
+    WAL_FILE = "wal.log"
+
+    def __init__(self, directory: Path, config: Optional[KVStoreConfig] = None):
+        self.directory = Path(directory)
+        self.config = config or KVStoreConfig()
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self._memtable = MemTable()
+        self._tables: List[SSTable] = []  # newest first
+        self._next_table_id = 0
+        self._wal: Optional[WriteAheadLog] = None
+        self._closed = False
+        self.recovered_records = 0
+        self.lost_records = 0
+        self._recover()
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def open(cls, directory: Path, config: Optional[KVStoreConfig] = None) -> "KVStore":
+        """Open (creating or recovering) a store in ``directory``."""
+        return cls(directory, config)
+
+    def put(self, key: str, value: str) -> None:
+        """Insert or overwrite a key."""
+        self._check_open()
+        if not isinstance(key, str) or not isinstance(value, str):
+            raise TypeError("keys and values must be str")
+        self._wal.append_put(key, value)
+        self._memtable.put(key, value)
+        self._maybe_flush()
+
+    def get(self, key: str) -> Optional[str]:
+        """Fetch a key, or ``None`` if absent or deleted."""
+        self._check_open()
+        found, value = self._memtable.get(key)
+        if found:
+            return value
+        for table in self._tables:
+            found, value = table.get(key)
+            if found:
+                return value
+        return None
+
+    def delete(self, key: str) -> None:
+        """Delete a key (idempotent)."""
+        self._check_open()
+        self._wal.append_delete(key)
+        self._memtable.delete(key)
+        self._maybe_flush()
+
+    def scan(self, prefix: str = "") -> Iterator[Tuple[str, str]]:
+        """All live entries with keys starting with ``prefix``, in key order."""
+        self._check_open()
+        merged: Dict[str, Optional[str]] = {}
+        for table in reversed(self._tables):  # oldest first
+            for key, value in table.items():
+                if key.startswith(prefix):
+                    merged[key] = value
+        for key, value in self._memtable.items():
+            if key.startswith(prefix):
+                merged[key] = None if value is TOMBSTONE else value  # type: ignore[assignment]
+        for key in sorted(merged):
+            if merged[key] is not None:
+                yield key, merged[key]  # type: ignore[misc]
+
+    def flush(self) -> None:
+        """Force the memtable to disk (no-op when empty)."""
+        self._check_open()
+        if not self._memtable:
+            return
+        entries = [
+            (k, None if v is TOMBSTONE else v)  # type: ignore[misc]
+            for k, v in self._memtable.items()
+        ]
+        table_path = self.directory / f"sst-{self._next_table_id:06d}.sst"
+        self._next_table_id += 1
+        table = write_sstable(table_path, entries)
+        self._tables.insert(0, table)
+        self._memtable = MemTable()
+        self._write_manifest()
+        self._wal.truncate()
+        if len(self._tables) > self.config.compaction_trigger:
+            self.compact()
+
+    def compact(self) -> None:
+        """Merge every SSTable into one, dropping tombstones."""
+        self._check_open()
+        if len(self._tables) <= 1:
+            return
+        entries = merge_tables(self._tables, drop_tombstones=True)
+        old_paths = [t.path for t in self._tables]
+        table_path = self.directory / f"sst-{self._next_table_id:06d}.sst"
+        self._next_table_id += 1
+        merged = write_sstable(table_path, entries)
+        self._tables = [merged]
+        self._write_manifest()
+        for path in old_paths:
+            path.unlink(missing_ok=True)
+
+    def close(self) -> None:
+        """Graceful shutdown: flush and release the WAL."""
+        if self._closed:
+            return
+        self.flush()
+        self._wal.close()
+        self._closed = True
+
+    @property
+    def table_count(self) -> int:
+        return len(self._tables)
+
+    def __enter__(self) -> "KVStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.scan())
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("store is closed")
+
+    def _maybe_flush(self) -> None:
+        if self._memtable.approximate_bytes >= self.config.flush_threshold_bytes:
+            self.flush()
+
+    def _write_manifest(self) -> None:
+        manifest = {
+            "tables": [t.path.name for t in self._tables],
+            "next_table_id": self._next_table_id,
+        }
+        tmp = self.directory / (self.MANIFEST + ".tmp")
+        tmp.write_text(json.dumps(manifest))
+        tmp.replace(self.directory / self.MANIFEST)
+
+    def _recover(self) -> None:
+        manifest_path = self.directory / self.MANIFEST
+        if manifest_path.exists():
+            manifest = json.loads(manifest_path.read_text())
+            self._next_table_id = manifest.get("next_table_id", 0)
+            for name in manifest.get("tables", []):
+                path = self.directory / name
+                if path.exists():
+                    self._tables.append(SSTable(path))
+        records, corrupt = replay(self.directory / self.WAL_FILE)
+        for record in records:
+            if record.kind == WAL_PUT:
+                self._memtable.put(record.key, record.value or "")
+            elif record.kind == WAL_DELETE:
+                self._memtable.delete(record.key)
+        self.recovered_records = len(records)
+        self.lost_records = corrupt
+        self._wal = WriteAheadLog(
+            self.directory / self.WAL_FILE, sync=self.config.sync_wal
+        )

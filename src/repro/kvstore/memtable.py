@@ -1,0 +1,80 @@
+"""In-memory sorted write buffer.
+
+The memtable absorbs every mutation (deletes become tombstones so that a
+delete can shadow an older value living in an SSTable) until it grows past
+the flush threshold, at which point the database freezes it into an
+SSTable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+# Sentinel distinguishing "deleted" from "absent".
+TOMBSTONE = object()
+
+
+class MemTable:
+    """Mutable sorted-on-demand key-value buffer with tombstones."""
+
+    def __init__(self):
+        self._data: Dict[str, object] = {}
+        self._approximate_bytes = 0
+
+    def put(self, key: str, value: str) -> None:
+        self._account(key, self._data.get(key), value)
+        self._data[key] = value
+
+    def delete(self, key: str) -> None:
+        """Record a tombstone (even for keys this table never saw)."""
+        self._account(key, self._data.get(key), None)
+        self._data[key] = TOMBSTONE
+
+    def get(self, key: str) -> Tuple[bool, Optional[str]]:
+        """Look up a key.
+
+        Returns ``(found, value)`` where ``found`` is ``True`` when the
+        memtable has an opinion about the key — including "it is deleted",
+        in which case ``value`` is ``None``.
+        """
+        sentinel = self._data.get(key, _MISSING)
+        if sentinel is _MISSING:
+            return False, None
+        if sentinel is TOMBSTONE:
+            return True, None
+        return True, sentinel  # type: ignore[return-value]
+
+    def items(self) -> Iterator[Tuple[str, object]]:
+        """All entries in key order; values may be :data:`TOMBSTONE`."""
+        for key in sorted(self._data):
+            yield key, self._data[key]
+
+    def live_items(self) -> List[Tuple[str, str]]:
+        """Non-tombstone entries in key order."""
+        return [
+            (k, v)  # type: ignore[misc]
+            for k, v in self.items()
+            if v is not TOMBSTONE
+        ]
+
+    @property
+    def approximate_bytes(self) -> int:
+        """Rough memory footprint used for the flush decision."""
+        return self._approximate_bytes
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __bool__(self) -> bool:
+        return bool(self._data)
+
+    def _account(self, key: str, old: object, new: Optional[str]) -> None:
+        if old is None and key not in self._data:
+            self._approximate_bytes += len(key)
+        if isinstance(old, str):
+            self._approximate_bytes -= len(old)
+        if new is not None:
+            self._approximate_bytes += len(new)
+
+
+_MISSING = object()

@@ -1,0 +1,134 @@
+"""Immutable sorted string tables.
+
+File layout (all JSON-line based for debuggability)::
+
+    entry*            one JSON line per key: {"key": .., "val": ..|null}
+    index             one JSON line: {"index": [[key, offset], ...]}
+    footer            16 ASCII hex chars: offset of the index line
+
+The index is sparse (every ``index_interval`` entries), loaded into memory
+when the table is opened; a lookup bisects the index, seeks to the block
+start, and scans forward at most ``index_interval`` lines.  ``val: null``
+is a tombstone: deletes must shadow older tables during merged reads.
+"""
+
+from __future__ import annotations
+
+import bisect
+import json
+from pathlib import Path
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+_FOOTER_LEN = 17  # 16 hex chars + newline
+
+# Marker object (kept distinct from None so get() can express "absent").
+TOMBSTONE_VALUE = None
+
+
+def write_sstable(
+    path: Path,
+    entries: Sequence[Tuple[str, Optional[str]]],
+    index_interval: int = 16,
+) -> "SSTable":
+    """Write sorted ``(key, value_or_None)`` pairs as a new SSTable.
+
+    ``entries`` must be sorted by key and duplicate-free; ``None`` values
+    are tombstones.
+    """
+    path = Path(path)
+    keys = [k for k, _ in entries]
+    if keys != sorted(set(keys)):
+        raise ValueError("sstable entries must be sorted and duplicate-free")
+    path.parent.mkdir(parents=True, exist_ok=True)
+    index: List[Tuple[str, int]] = []
+    with open(path, "wb") as f:
+        for i, (key, value) in enumerate(entries):
+            if i % index_interval == 0:
+                index.append((key, f.tell()))
+            line = json.dumps({"key": key, "val": value}, separators=(",", ":"))
+            f.write(line.encode("utf-8") + b"\n")
+        index_offset = f.tell()
+        f.write(
+            json.dumps({"index": index}, separators=(",", ":")).encode("utf-8")
+            + b"\n"
+        )
+        f.write(b"%016x\n" % index_offset)
+    return SSTable(path)
+
+
+class SSTable:
+    """Read-only view over one table file."""
+
+    def __init__(self, path: Path, index_interval: int = 16):
+        self.path = Path(path)
+        self.index_interval = index_interval
+        with open(self.path, "rb") as f:
+            f.seek(0, 2)
+            size = f.tell()
+            if size < _FOOTER_LEN:
+                raise ValueError(f"{self.path}: truncated sstable")
+            f.seek(size - _FOOTER_LEN)
+            try:
+                index_offset = int(f.read(16), 16)
+            except ValueError:
+                raise ValueError(f"{self.path}: corrupt footer") from None
+            f.seek(index_offset)
+            index_line = f.readline()
+            try:
+                raw_index = json.loads(index_line)["index"]
+            except (json.JSONDecodeError, KeyError):
+                raise ValueError(f"{self.path}: corrupt index") from None
+        self._index_keys = [k for k, _ in raw_index]
+        self._index_offsets = [off for _, off in raw_index]
+        self._data_end = index_offset
+
+    def get(self, key: str) -> Tuple[bool, Optional[str]]:
+        """Point lookup.
+
+        Returns ``(found, value)``; a found tombstone yields
+        ``(True, None)`` so callers can stop searching older tables.
+        """
+        if not self._index_keys or key < self._index_keys[0]:
+            return False, None
+        block = bisect.bisect_right(self._index_keys, key) - 1
+        offset = self._index_offsets[block]
+        with open(self.path, "rb") as f:
+            f.seek(offset)
+            while f.tell() < self._data_end:
+                obj = json.loads(f.readline())
+                if obj["key"] == key:
+                    return True, obj["val"]
+                if obj["key"] > key:
+                    return False, None
+        return False, None
+
+    def items(self) -> Iterator[Tuple[str, Optional[str]]]:
+        """All entries (including tombstones) in key order."""
+        with open(self.path, "rb") as f:
+            while f.tell() < self._data_end:
+                obj = json.loads(f.readline())
+                yield obj["key"], obj["val"]
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.items())
+
+
+def merge_tables(
+    tables: Sequence[SSTable],
+    drop_tombstones: bool,
+) -> List[Tuple[str, Optional[str]]]:
+    """Merge tables newest-first into one sorted entry list.
+
+    ``tables[0]`` is the newest; its values win.  When
+    ``drop_tombstones`` is true (full compaction), deleted keys vanish
+    entirely; otherwise tombstones are preserved so they keep shadowing
+    even older data.
+    """
+    merged: dict = {}
+    for table in reversed(tables):  # oldest first, newer overwrite
+        for key, value in table.items():
+            merged[key] = value
+    entries = sorted(merged.items())
+    if drop_tombstones:
+        entries = [(k, v) for k, v in entries if v is not None]
+    return entries

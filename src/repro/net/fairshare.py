@@ -1,0 +1,196 @@
+"""Max-min fair-share arithmetic.
+
+Two layers of the system need max-min computations:
+
+* The **flow simulator** needs ground-truth rates for every active flow in
+  the whole network — :func:`max_min_fair_rates` implements classic
+  progressive filling (water-filling) over all links simultaneously.
+* The **Flowserver** estimates shares link-by-link along one candidate path
+  (§4.2): :func:`single_link_fair_allocation` divides one link's capacity
+  across flows with demands, where the probing new flow has infinite demand.
+
+Rates are bits/second; capacities must be positive.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+
+def single_link_fair_allocation(
+    capacity_bps: float,
+    demands: Sequence[float],
+) -> List[float]:
+    """Water-fill one link's capacity across flows with given demands.
+
+    Each flow receives an equal share, capped at its demand; capacity left
+    over by capped flows is redistributed among the rest.  ``math.inf``
+    demands are allowed (the probing new flow in the Flowserver's estimate).
+
+    Returns the per-flow allocation in input order.  If the sum of demands
+    is below capacity every flow simply gets its demand.
+    """
+    if capacity_bps <= 0:
+        raise ValueError(f"capacity must be positive, got {capacity_bps}")
+    n = len(demands)
+    if n == 0:
+        return []
+    for d in demands:
+        if d < 0:
+            raise ValueError(f"demands must be non-negative, got {d}")
+
+    allocation = [0.0] * n
+    remaining_capacity = float(capacity_bps)
+    active = [i for i in range(n) if demands[i] > 0]
+    # Process flows in ascending demand order: once the equal share exceeds
+    # the smallest remaining demand, that flow is satisfied and frozen.
+    for i in sorted(active, key=lambda idx: demands[idx]):
+        share = remaining_capacity / len(active)
+        give = min(demands[i], share)
+        allocation[i] = give
+        remaining_capacity -= give
+        active = [j for j in active if j != i]
+        if remaining_capacity <= 0:
+            break
+    return allocation
+
+
+def max_min_fair_rates(
+    flow_links: Mapping[str, Sequence[str]],
+    link_capacity_bps: Mapping[str, float],
+    flow_demands: Optional[Mapping[str, float]] = None,
+) -> Dict[str, float]:
+    """Global max-min fair rates via progressive filling.
+
+    Parameters
+    ----------
+    flow_links:
+        Mapping of flow id to the link ids it traverses.
+    link_capacity_bps:
+        Capacity of every link (only links carrying flows need appear).
+    flow_demands:
+        Optional per-flow rate caps (defaults to unbounded).  A flow whose
+        demand is met before any of its links saturates is frozen at its
+        demand.
+
+    Returns
+    -------
+    dict
+        flow id -> rate in bits/second.  Flows traversing no links (local
+        transfers) get ``math.inf``.
+
+    Notes
+    -----
+    Progressive filling: repeatedly find the bottleneck link — the one whose
+    remaining capacity divided by its count of unfrozen flows is smallest —
+    then freeze all unfrozen flows on it at that fair share.  Terminates in
+    at most ``len(links)`` iterations.
+    """
+    rates: Dict[str, float] = {}
+    unfrozen: Dict[str, List[str]] = {}
+    for flow_id, links in flow_links.items():
+        if not links:
+            rates[flow_id] = math.inf
+        else:
+            unfrozen[flow_id] = list(links)
+
+    demands = dict(flow_demands) if flow_demands else {}
+
+    remaining: Dict[str, float] = {}
+    link_members: Dict[str, set] = {}
+    for flow_id, links in unfrozen.items():
+        for link_id in links:
+            if link_id not in remaining:
+                capacity = link_capacity_bps.get(link_id)
+                if capacity is None:
+                    raise KeyError(f"no capacity for link {link_id!r}")
+                if capacity <= 0:
+                    raise ValueError(f"link {link_id!r} capacity must be positive")
+                remaining[link_id] = float(capacity)
+                link_members[link_id] = set()
+            link_members[link_id].add(flow_id)
+
+    def freeze(flow_id: str, rate: float) -> None:
+        rates[flow_id] = rate
+        for link_id in unfrozen[flow_id]:
+            remaining[link_id] = max(0.0, remaining[link_id] - rate)
+            link_members[link_id].discard(flow_id)
+        del unfrozen[flow_id]
+
+    while unfrozen:
+        # Bottleneck fair share over links that still carry unfrozen flows.
+        bottleneck_share = math.inf
+        for link_id, members in link_members.items():
+            if not members:
+                continue
+            share = remaining[link_id] / len(members)
+            if share < bottleneck_share:
+                bottleneck_share = share
+
+        # Flows whose demand caps them below the bottleneck share freeze at
+        # their demand first (they release capacity for everyone else).
+        demand_limited = [
+            f
+            for f in unfrozen
+            if demands.get(f, math.inf) <= bottleneck_share
+        ]
+        if demand_limited:
+            flow_id = min(demand_limited, key=lambda f: (demands.get(f, math.inf), f))
+            freeze(flow_id, demands.get(flow_id, math.inf))
+            continue
+
+        if not math.isfinite(bottleneck_share):  # pragma: no cover - defensive
+            for flow_id in list(unfrozen):
+                freeze(flow_id, math.inf)
+            break
+
+        # Freeze every unfrozen flow on (one of) the bottleneck links.
+        to_freeze = set()
+        for link_id, members in link_members.items():
+            if members and remaining[link_id] / len(members) <= bottleneck_share * (1 + 1e-12):
+                to_freeze.update(members)
+        for flow_id in sorted(to_freeze):
+            freeze(flow_id, bottleneck_share)
+
+    return rates
+
+
+def bottleneck_share_on_path(
+    path_link_ids: Iterable[str],
+    link_capacity_bps: Mapping[str, float],
+    link_flow_demands: Mapping[str, Sequence[float]],
+) -> Tuple[float, Optional[str]]:
+    """Estimated max-min share of a probing new flow along one path.
+
+    For each link on the path the probe (infinite demand) is water-filled
+    against the link's existing flows (demands = their current shares, per
+    §4.2); the flow's share is its allocation at the bottleneck link.
+
+    Parameters
+    ----------
+    path_link_ids:
+        Links of the candidate path.
+    link_capacity_bps:
+        Link capacities.
+    link_flow_demands:
+        For each link, the demands (current bandwidth shares) of the flows
+        already present on it.
+
+    Returns
+    -------
+    (share, bottleneck_link_id)
+        The probe's estimated rate and the link that capped it (``None`` if
+        the path is empty, in which case share is ``inf``).
+    """
+    best_share = math.inf
+    bottleneck: Optional[str] = None
+    for link_id in path_link_ids:
+        capacity = link_capacity_bps[link_id]
+        existing = list(link_flow_demands.get(link_id, ()))
+        allocation = single_link_fair_allocation(capacity, existing + [math.inf])
+        probe_share = allocation[-1]
+        if probe_share < best_share:
+            best_share = probe_share
+            bottleneck = link_id
+    return best_share, bottleneck

@@ -1,0 +1,74 @@
+"""Directed network links.
+
+Every physical cable in the topology is modelled as two independent
+:class:`Link` objects, one per direction, because datacenter links are
+full-duplex: a read flow from a dataserver consumes only the
+dataserver-to-client direction.  Links carry byte counters that the
+switches (and through them the SDN controller) expose as OpenFlow port
+statistics.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Set
+
+
+class LinkDirection(enum.Enum):
+    """Orientation of a directed link relative to the network core."""
+
+    UP = "up"  # towards aggregation/core (used by remote *writes*/requests)
+    DOWN = "down"  # towards the hosts (used by read data transfers)
+    FLAT = "flat"  # host<->switch edge links
+
+
+class Link:
+    """One direction of a physical cable.
+
+    Parameters
+    ----------
+    link_id:
+        Unique string id, conventionally ``"src->dst"``.
+    src, dst:
+        Node ids of the endpoints.
+    capacity_bps:
+        Capacity in bits per second.
+    direction:
+        Coarse orientation label used by baselines (e.g. Sinbad-R inspects
+        core-facing links).
+    """
+
+    __slots__ = ("link_id", "src", "dst", "capacity_bps", "direction", "bytes_sent", "flows")
+
+    def __init__(
+        self,
+        link_id: str,
+        src: str,
+        dst: str,
+        capacity_bps: float,
+        direction: LinkDirection = LinkDirection.FLAT,
+    ):
+        if capacity_bps <= 0:
+            raise ValueError(f"link {link_id!r}: capacity must be positive, got {capacity_bps}")
+        self.link_id = link_id
+        self.src = src
+        self.dst = dst
+        self.capacity_bps = float(capacity_bps)
+        self.direction = direction
+        self.bytes_sent = 0.0
+        self.flows: Set[str] = set()
+
+    @property
+    def flow_count(self) -> int:
+        """Number of active flows currently routed over this link."""
+        return len(self.flows)
+
+    def record_bytes(self, nbytes: float) -> None:
+        """Accumulate transferred bytes into the port counter."""
+        self.bytes_sent += nbytes
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Link({self.link_id!r}, {self.capacity_bps / 1e9:.3f} Gbps, "
+            f"{self.flow_count} flows)"
+        )

@@ -1,0 +1,105 @@
+"""Shortest-path enumeration between hosts.
+
+Mayflower restricts candidate paths to the *equal-length shortest* paths
+between two endpoints (§4.2), which in a 3-tier tree have 2, 4 or 6 switch
+hops.  :class:`RoutingTable` enumerates and caches them; paths are immutable
+tuples of directed link ids, ready for both the flow simulator and the
+Flowserver's cost model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import networkx as nx
+
+from repro.net.topology import Topology
+
+
+@dataclass(frozen=True)
+class Path:
+    """An ordered sequence of directed links from ``src`` host to ``dst`` host."""
+
+    src: str
+    dst: str
+    link_ids: Tuple[str, ...]
+
+    @property
+    def hop_count(self) -> int:
+        """Number of links traversed."""
+        return len(self.link_ids)
+
+    def __iter__(self):
+        return iter(self.link_ids)
+
+    def __len__(self) -> int:
+        return len(self.link_ids)
+
+
+class RoutingTable:
+    """Enumerates all equal-cost shortest paths between host pairs.
+
+    Results are cached per (src, dst); for the 64-host testbed the full
+    table is ~4k entries of at most 8 paths each.
+    """
+
+    def __init__(self, topology: Topology):
+        self._topo = topology
+        self._graph = topology.to_networkx()
+        self._cache: Dict[Tuple[str, str], List[Path]] = {}
+
+    @property
+    def topology(self) -> Topology:
+        return self._topo
+
+    def paths(self, src: str, dst: str) -> List[Path]:
+        """All shortest paths from host ``src`` to host ``dst``.
+
+        Raises
+        ------
+        ValueError
+            If ``src == dst`` (a local read involves no network path) or if
+            either endpoint is not a host.
+        """
+        if src == dst:
+            raise ValueError(f"no network path from a host to itself ({src!r})")
+        for node in (src, dst):
+            if node not in self._topo.hosts:
+                raise ValueError(f"{node!r} is not a host")
+        key = (src, dst)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        try:
+            node_paths = list(nx.all_shortest_paths(self._graph, src, dst))
+        except nx.NetworkXNoPath:
+            raise ValueError(f"hosts {src!r} and {dst!r} are disconnected") from None
+        paths = []
+        for node_path in sorted(node_paths):
+            link_ids = tuple(
+                self._graph.edges[a, b]["link_id"]
+                for a, b in zip(node_path, node_path[1:])
+            )
+            paths.append(Path(src=src, dst=dst, link_ids=link_ids))
+        self._cache[key] = paths
+        return paths
+
+    def paths_from_replicas(self, replicas: List[str], client: str) -> List[Path]:
+        """Candidate (replica -> client) paths for a read request.
+
+        Replicas co-located with the client contribute no network path (the
+        read is local); the caller is expected to short-circuit that case.
+        """
+        candidates: List[Path] = []
+        for replica in replicas:
+            if replica == client:
+                continue
+            candidates.extend(self.paths(replica, client))
+        return candidates
+
+    def shortest_hop_count(self, src: str, dst: str) -> int:
+        """Length (in links) of the shortest path between two hosts."""
+        if src == dst:
+            return 0
+        return self.paths(src, dst)[0].hop_count

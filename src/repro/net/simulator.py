@@ -1,0 +1,293 @@
+"""Fluid flow-level network simulator.
+
+This is the reproduction's stand-in for the paper's Mininet testbed.  Flows
+are fluid: at any instant every active flow transfers at its global max-min
+fair rate, recomputed whenever the set of active flows changes.  The
+simulator schedules the earliest flow completion as a discrete event,
+advances per-flow progress (charging byte counters on every traversed link)
+and recomputes rates.
+
+Ground truth lives here; the Flowserver deliberately does *not* read it —
+it sees the network only through switch counters and its own estimates,
+reproducing the estimation dynamics the paper describes (stats polling,
+update-freeze, local-path-only recomputation).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.net.routing import Path
+from repro.net.topology import Topology
+from repro.sim.engine import EventHandle, EventLoop
+
+# Flows whose remaining volume falls below this many bits are complete.
+_COMPLETION_EPSILON_BITS = 1e-3
+
+
+class Flow:
+    """An active fluid flow over a fixed path.
+
+    Attributes
+    ----------
+    flow_id:
+        Unique identifier (also the key in switch flow tables).
+    path:
+        The route assigned at start time; immutable for the flow's life.
+    size_bits / remaining_bits:
+        Total and outstanding volume.
+    rate_bps:
+        Current ground-truth max-min rate.
+    bytes_sent:
+        Per-flow byte counter (exposed via switch flow stats).
+    """
+
+    __slots__ = (
+        "flow_id",
+        "path",
+        "size_bits",
+        "remaining_bits",
+        "rate_bps",
+        "bytes_sent",
+        "start_time",
+        "end_time",
+        "on_complete",
+        "job_id",
+    )
+
+    def __init__(
+        self,
+        flow_id: str,
+        path: Path,
+        size_bits: float,
+        start_time: float,
+        on_complete: Optional[Callable[["Flow"], None]] = None,
+        job_id: Optional[str] = None,
+    ):
+        if size_bits <= 0:
+            raise ValueError(f"flow size must be positive, got {size_bits}")
+        self.flow_id = flow_id
+        self.path = path
+        self.size_bits = float(size_bits)
+        self.remaining_bits = float(size_bits)
+        self.rate_bps = 0.0
+        self.bytes_sent = 0.0
+        self.start_time = start_time
+        self.end_time: Optional[float] = None
+        self.on_complete = on_complete
+        self.job_id = job_id
+
+    @property
+    def src(self) -> str:
+        return self.path.src
+
+    @property
+    def dst(self) -> str:
+        return self.path.dst
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Flow({self.flow_id!r}, {self.src}->{self.dst}, "
+            f"{self.remaining_bits / 8e6:.1f}/{self.size_bits / 8e6:.1f} MB, "
+            f"{self.rate_bps / 1e6:.1f} Mbps)"
+        )
+
+
+class FlowNetwork:
+    """Fluid max-min network simulation bound to an event loop.
+
+    Parameters
+    ----------
+    loop:
+        Simulated clock and event scheduler.
+    topology:
+        The network; link objects carry the byte counters.
+    """
+
+    def __init__(self, loop: EventLoop, topology: Topology):
+        self._loop = loop
+        self._topo = topology
+        self._flows: Dict[str, Flow] = {}
+        self._last_progress_time = loop.now
+        self._completion_event: Optional[EventHandle] = None
+        self.completed_flows = 0
+
+    @property
+    def loop(self) -> EventLoop:
+        return self._loop
+
+    @property
+    def topology(self) -> Topology:
+        return self._topo
+
+    @property
+    def active_flows(self) -> Dict[str, Flow]:
+        """Live view of active flows keyed by flow id (do not mutate)."""
+        return self._flows
+
+    def flows_on_link(self, link_id: str) -> List[Flow]:
+        """Active flows currently traversing ``link_id``."""
+        link = self._topo.links[link_id]
+        return [self._flows[fid] for fid in sorted(link.flows)]
+
+    def start_flow(
+        self,
+        flow_id: str,
+        path: Path,
+        size_bits: float,
+        on_complete: Optional[Callable[[Flow], None]] = None,
+        job_id: Optional[str] = None,
+    ) -> Flow:
+        """Begin transferring ``size_bits`` along ``path``.
+
+        ``on_complete(flow)`` fires (as a simulation event) when the last
+        bit is delivered.
+        """
+        if flow_id in self._flows:
+            raise ValueError(f"duplicate flow id {flow_id!r}")
+        self._advance_progress()
+        flow = Flow(
+            flow_id,
+            path,
+            size_bits,
+            start_time=self._loop.now,
+            on_complete=on_complete,
+            job_id=job_id,
+        )
+        self._flows[flow_id] = flow
+        for link_id in path.link_ids:
+            self._topo.links[link_id].flows.add(flow_id)
+        self._recompute_rates()
+        return flow
+
+    def cancel_flow(self, flow_id: str) -> None:
+        """Abort a flow without firing its completion callback."""
+        flow = self._flows.get(flow_id)
+        if flow is None:
+            raise KeyError(f"unknown flow {flow_id!r}")
+        self._advance_progress()
+        self._remove(flow)
+        self._recompute_rates()
+
+    def reroute_flow(self, flow_id: str, new_path: Path) -> Flow:
+        """Move an in-flight flow onto a different path.
+
+        Progress is preserved; only the remaining bytes travel the new
+        route.  Endpoints must match (a centralized scheduler à la Hedera
+        re-routes flows, it cannot re-source them).
+        """
+        flow = self._flows.get(flow_id)
+        if flow is None:
+            raise KeyError(f"unknown flow {flow_id!r}")
+        if (new_path.src, new_path.dst) != (flow.src, flow.dst):
+            raise ValueError(
+                f"reroute must keep endpoints: {flow.src}->{flow.dst} vs "
+                f"{new_path.src}->{new_path.dst}"
+            )
+        self._advance_progress()
+        for link_id in flow.path.link_ids:
+            self._topo.links[link_id].flows.discard(flow_id)
+        flow.path = new_path
+        for link_id in new_path.link_ids:
+            self._topo.links[link_id].flows.add(flow_id)
+        self._recompute_rates()
+        return flow
+
+    def _remove(self, flow: Flow) -> None:
+        for link_id in flow.path.link_ids:
+            self._topo.links[link_id].flows.discard(flow.flow_id)
+        del self._flows[flow.flow_id]
+
+    def _advance_progress(self) -> None:
+        """Charge transferred bits for the interval since the last update."""
+        now = self._loop.now
+        elapsed = now - self._last_progress_time
+        self._last_progress_time = now
+        if elapsed <= 0 or not self._flows:
+            return
+        for flow in self._flows.values():
+            moved_bits = min(flow.remaining_bits, flow.rate_bps * elapsed)
+            if moved_bits <= 0:
+                continue
+            flow.remaining_bits -= moved_bits
+            moved_bytes = moved_bits / 8.0
+            flow.bytes_sent += moved_bytes
+            for link_id in flow.path.link_ids:
+                self._topo.links[link_id].record_bytes(moved_bytes)
+
+    def _recompute_rates(self) -> None:
+        """Re-solve global max-min and reschedule the next completion."""
+        if self._completion_event is not None:
+            self._completion_event.cancel()
+            self._completion_event = None
+        if not self._flows:
+            return
+        from repro.net.fairshare import max_min_fair_rates
+
+        flow_links = {fid: f.path.link_ids for fid, f in self._flows.items()}
+        capacities = {
+            lid: self._topo.links[lid].capacity_bps
+            for links in flow_links.values()
+            for lid in links
+        }
+        rates = max_min_fair_rates(flow_links, capacities)
+        next_completion = math.inf
+        for fid, flow in self._flows.items():
+            flow.rate_bps = rates[fid]
+            if flow.rate_bps > 0:
+                eta = flow.remaining_bits / flow.rate_bps
+                next_completion = min(next_completion, eta)
+        if math.isfinite(next_completion):
+            self._completion_event = self._loop.call_in(
+                max(0.0, next_completion), self._on_completion_tick
+            )
+
+    def _on_completion_tick(self) -> None:
+        self._completion_event = None
+        self._advance_progress()
+        finished = [
+            f
+            for f in self._flows.values()
+            if f.remaining_bits <= _COMPLETION_EPSILON_BITS
+        ]
+        for flow in sorted(finished, key=lambda f: f.flow_id):
+            flow.remaining_bits = 0.0
+            flow.end_time = self._loop.now
+            self._remove(flow)
+            self.completed_flows += 1
+        self._recompute_rates()
+        # Completion callbacks run after rates settle so that a callback
+        # starting a new flow observes a consistent network.
+        for flow in sorted(finished, key=lambda f: f.flow_id):
+            if flow.on_complete is not None:
+                flow.on_complete(flow)
+
+    # ------------------------------------------------------------------
+    # Introspection used by switches, baselines and tests.
+    # ------------------------------------------------------------------
+
+    def snapshot_progress(self) -> None:
+        """Bring byte counters up to the current instant (for stats reads)."""
+        self._advance_progress()
+
+    def link_utilization_bps(self, link_id: str) -> float:
+        """Instantaneous ground-truth load on a link (sum of flow rates)."""
+        link = self._topo.links[link_id]
+        return sum(self._flows[fid].rate_bps for fid in link.flows)
+
+    def ground_truth_rates(self) -> Dict[str, float]:
+        """Current max-min rate of every active flow (testing aid)."""
+        return {fid: f.rate_bps for fid, f in self._flows.items()}
+
+    def expected_completion_times(self) -> Dict[str, float]:
+        """ETA of each active flow assuming rates stay fixed (testing aid)."""
+        return {
+            fid: (f.remaining_bits / f.rate_bps if f.rate_bps > 0 else math.inf)
+            for fid, f in self._flows.items()
+        }
+
+
+def total_path_capacity(topology: Topology, path: Sequence[str]) -> float:
+    """Minimum link capacity along a path of link ids (a static upper bound)."""
+    return min(topology.links[lid].capacity_bps for lid in path)

@@ -1,0 +1,119 @@
+"""Switch objects exposing OpenFlow-style statistics.
+
+A :class:`Switch` wraps a topology switch node and answers the two queries
+the SDN controller issues (§3.3.3):
+
+* **port stats** — cumulative bytes sent per attached directed link;
+* **flow stats** — cumulative bytes per flow, restricted (as in the paper)
+  to flows *originating from dataservers attached to this edge switch*.
+
+Counters are ground truth pulled from the flow simulator at query time, so
+the controller only ever sees byte counts — never rates — and must infer
+bandwidth by differencing successive polls exactly like a real controller.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.net.simulator import FlowNetwork
+from repro.net.topology import SwitchNode, Tier
+
+
+@dataclass(frozen=True)
+class PortStat:
+    """Cumulative transmit counter for one directed link on a switch."""
+
+    link_id: str
+    bytes_sent: float
+    capacity_bps: float
+
+
+@dataclass(frozen=True)
+class FlowStat:
+    """Cumulative counter for one flow observed at a switch."""
+
+    flow_id: str
+    src: str
+    dst: str
+    bytes_sent: float
+    size_bits: float
+    remaining_bits: float
+
+
+class Switch:
+    """Stats-serving view over one switch in the simulated network."""
+
+    def __init__(self, node: SwitchNode, network: FlowNetwork):
+        self._node = node
+        self._network = network
+        self._topo = network.topology
+
+    @property
+    def switch_id(self) -> str:
+        return self._node.switch_id
+
+    @property
+    def tier(self) -> Tier:
+        return self._node.tier
+
+    @property
+    def pod(self) -> Optional[str]:
+        return self._node.pod
+
+    def attached_hosts(self) -> List[str]:
+        """Hosts hanging off this switch (non-empty only for edge switches)."""
+        return sorted(
+            h.host_id
+            for h in self._topo.hosts.values()
+            if h.rack == self._node.switch_id
+        )
+
+    def port_stats(self) -> List[PortStat]:
+        """Byte counters for every directed link leaving this switch."""
+        self._network.snapshot_progress()
+        stats = []
+        for link_id in sorted(self._topo.adjacency[self._node.switch_id]):
+            link = self._topo.links[link_id]
+            stats.append(
+                PortStat(
+                    link_id=link.link_id,
+                    bytes_sent=link.bytes_sent,
+                    capacity_bps=link.capacity_bps,
+                )
+            )
+        return stats
+
+    def flow_stats(self) -> List[FlowStat]:
+        """Counters for flows originating at hosts attached to this switch.
+
+        Mirrors §4: "flow stats are collected for only those flows that
+        originate from dataservers attached to the edge switch being
+        queried."
+        """
+        self._network.snapshot_progress()
+        local_hosts = set(self.attached_hosts())
+        stats = []
+        for flow_id in sorted(self._network.active_flows):
+            flow = self._network.active_flows[flow_id]
+            if flow.src in local_hosts:
+                stats.append(
+                    FlowStat(
+                        flow_id=flow.flow_id,
+                        src=flow.src,
+                        dst=flow.dst,
+                        bytes_sent=flow.bytes_sent,
+                        size_bits=flow.size_bits,
+                        remaining_bits=flow.remaining_bits,
+                    )
+                )
+        return stats
+
+
+def build_switches(network: FlowNetwork) -> Dict[str, Switch]:
+    """Instantiate a :class:`Switch` for every switch node in the topology."""
+    return {
+        node.switch_id: Switch(node, network)
+        for node in network.topology.switches.values()
+    }

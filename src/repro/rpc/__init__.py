@@ -1,0 +1,24 @@
+"""Control-plane RPC over the simulation (the Apache Thrift stand-in).
+
+Mayflower's servers and clients exchange *control* messages (lookups,
+replica selection, append coordination) whose payloads are tiny compared
+to data transfers, so the fabric models them as fixed-latency request /
+response pairs on the event loop rather than as flows in the congestion
+simulator.  Data transfers never go through RPC — they ride
+:class:`repro.net.FlowNetwork`.
+
+Handlers can be plain methods (returning immediately) or generator methods
+(suspending on further RPCs, delays or flow completions); failure
+injection (downed hosts, dropped messages) is built in for fault tests.
+"""
+
+from repro.rpc.fabric import RpcFabric, RpcResponse
+from repro.rpc.errors import HostDownError, RpcError, ServiceNotFoundError
+
+__all__ = [
+    "HostDownError",
+    "RpcError",
+    "RpcFabric",
+    "RpcResponse",
+    "ServiceNotFoundError",
+]

@@ -1,0 +1,25 @@
+"""RPC error types."""
+
+from __future__ import annotations
+
+
+class RpcError(Exception):
+    """Base class for everything the RPC fabric can raise at a caller."""
+
+
+class ServiceNotFoundError(RpcError):
+    """No handler registered for the (endpoint, service) pair."""
+
+
+class HostDownError(RpcError):
+    """The destination endpoint is marked down (failure injection)."""
+
+
+class RemoteInvocationError(RpcError):
+    """The remote handler raised; carries the remote error text."""
+
+    def __init__(self, service: str, method: str, message: str):
+        super().__init__(f"{service}.{method} failed remotely: {message}")
+        self.service = service
+        self.method = method
+        self.remote_message = message

@@ -1,0 +1,207 @@
+"""The RPC fabric: endpoint registry, dispatch, latency and failures.
+
+Endpoints are string names.  Topology hosts are natural endpoints, but the
+fabric also accepts *virtual* endpoints (e.g. ``"@controller"``) for
+services that live out-of-band on the management network, which is how the
+paper's clients reach the Flowserver inside Floodlight.
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass
+from typing import Any, Dict, Generator, Optional, Set, Tuple
+
+from repro.rpc.errors import (
+    HostDownError,
+    RemoteInvocationError,
+    ServiceNotFoundError,
+)
+from repro.sim.engine import EventLoop
+from repro.sim.process import Process, Signal
+
+
+@dataclass(frozen=True)
+class RpcResponse:
+    """Envelope delivered to the caller's completion signal."""
+
+    ok: bool
+    value: Any = None
+    error: Optional[str] = None
+    error_type: Optional[type] = None
+
+
+class RpcFabric:
+    """Latency-modelled request/response messaging on the event loop.
+
+    Parameters
+    ----------
+    loop:
+        Simulated clock.
+    latency:
+        One-way control-message latency in seconds (default 0.5 ms, a
+        typical intra-datacenter RTT/2 for small RPCs).
+    """
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        latency: float = 0.0005,
+        jitter: float = 0.0,
+        seed: int = 0,
+    ):
+        if latency < 0:
+            raise ValueError(f"latency must be non-negative, got {latency}")
+        if jitter < 0:
+            raise ValueError(f"jitter must be non-negative, got {jitter}")
+        self._loop = loop
+        self.latency = latency
+        #: Uniform extra delay in [0, jitter] added per message, drawn from
+        #: a seeded stream so runs stay reproducible.
+        self.jitter = jitter
+        import random as _random
+
+        self._jitter_rng = _random.Random(seed ^ 0x52504A)
+        self._services: Dict[Tuple[str, str], Any] = {}
+        self._down: Set[str] = set()
+        self.calls_sent = 0
+        self.calls_failed = 0
+
+    def _one_way_delay(self) -> float:
+        if self.jitter <= 0:
+            return self.latency
+        return self.latency + self._jitter_rng.uniform(0, self.jitter)
+
+    # ------------------------------------------------------------------
+    # Registration and failure injection
+    # ------------------------------------------------------------------
+
+    def register(self, endpoint: str, service: str, handler: Any) -> None:
+        """Expose ``handler``'s public methods as ``service`` at ``endpoint``."""
+        key = (endpoint, service)
+        if key in self._services:
+            raise ValueError(f"service {service!r} already registered at {endpoint!r}")
+        self._services[key] = handler
+
+    def unregister(self, endpoint: str, service: str) -> None:
+        self._services.pop((endpoint, service), None)
+
+    def set_down(self, endpoint: str, down: bool = True) -> None:
+        """Mark an endpoint unreachable (calls fail with HostDownError)."""
+        if down:
+            self._down.add(endpoint)
+        else:
+            self._down.discard(endpoint)
+
+    def is_down(self, endpoint: str) -> bool:
+        return endpoint in self._down
+
+    # ------------------------------------------------------------------
+    # Calling
+    # ------------------------------------------------------------------
+
+    def call(
+        self,
+        src: str,
+        dst: str,
+        service: str,
+        method: str,
+        *args: Any,
+        **kwargs: Any,
+    ) -> Signal:
+        """Send a request; returns a signal fired with an :class:`RpcResponse`.
+
+        The request arrives after one latency; the handler runs (possibly
+        suspending, if it is a generator); the response arrives after
+        another latency.
+        """
+        self.calls_sent += 1
+        done = Signal(self._loop, name=f"rpc:{service}.{method}")
+
+        def _respond(response: RpcResponse) -> None:
+            if not response.ok:
+                self.calls_failed += 1
+            self._loop.call_in(self._one_way_delay(), done.fire, response)
+
+        def _deliver() -> None:
+            if dst in self._down or src in self._down:
+                _respond(
+                    RpcResponse(
+                        ok=False,
+                        error=f"endpoint {dst if dst in self._down else src} is down",
+                        error_type=HostDownError,
+                    )
+                )
+                return
+            handler = self._services.get((dst, service))
+            if handler is None:
+                _respond(
+                    RpcResponse(
+                        ok=False,
+                        error=f"no service {service!r} at {dst!r}",
+                        error_type=ServiceNotFoundError,
+                    )
+                )
+                return
+            bound = getattr(handler, method, None)
+            if bound is None or method.startswith("_") or not callable(bound):
+                _respond(
+                    RpcResponse(
+                        ok=False,
+                        error=f"service {service!r} has no method {method!r}",
+                        error_type=ServiceNotFoundError,
+                    )
+                )
+                return
+            try:
+                result = bound(*args, **kwargs)
+            except Exception as err:  # noqa: BLE001 - shipped to caller
+                _respond(
+                    RpcResponse(
+                        ok=False, error=str(err), error_type=RemoteInvocationError
+                    )
+                )
+                return
+            if inspect.isgenerator(result):
+                proc = Process(self._loop, result, name=f"{service}.{method}")
+
+                def _on_done(_payload: Any) -> None:
+                    if proc.exception is not None:
+                        _respond(
+                            RpcResponse(
+                                ok=False,
+                                error=str(proc.exception),
+                                error_type=RemoteInvocationError,
+                            )
+                        )
+                    else:
+                        _respond(RpcResponse(ok=True, value=proc.result))
+
+                proc.done_signal.add_waiter(_on_done)
+            else:
+                _respond(RpcResponse(ok=True, value=result))
+
+        self._loop.call_in(self._one_way_delay(), _deliver)
+        return done
+
+    def invoke(
+        self,
+        src: str,
+        dst: str,
+        service: str,
+        method: str,
+        *args: Any,
+        **kwargs: Any,
+    ) -> Generator:
+        """Process-friendly call: ``result = yield from fabric.invoke(...)``.
+
+        Raises the appropriate :class:`~repro.rpc.errors.RpcError` subclass
+        inside the calling process when the call fails.
+        """
+        response = yield self.call(src, dst, service, method, *args, **kwargs)
+        if response.ok:
+            return response.value
+        error_type = response.error_type or RemoteInvocationError
+        if error_type is RemoteInvocationError:
+            raise RemoteInvocationError(service, method, response.error or "")
+        raise error_type(response.error)

@@ -1,0 +1,230 @@
+"""The SDN controller.
+
+Plays the role Floodlight plays in the paper's prototype: it owns the
+switch connections, programs flow tables along assigned paths, relays
+port/flow statistics requests, and fans FlowRemoved notifications out to
+registered listeners (the Flowserver chief among them).
+
+The controller also owns the binding between a *routed* flow (a path
+installed in switch tables) and the *fluid* flow in the network simulator:
+:meth:`Controller.start_transfer` installs rules and starts the transfer
+atomically, and tears the rules down when the transfer completes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.net.routing import Path
+from repro.net.simulator import Flow, FlowNetwork
+from repro.net.switch import Switch, build_switches
+from repro.sdn.flowtable import FlowTable
+from repro.sdn.openflow import FlowRemoved, FlowStatsReply, PortStatsReply
+
+
+@dataclass
+class FlowRecord:
+    """Controller-side bookkeeping for one installed flow."""
+
+    flow_id: str
+    path: Path
+    size_bits: float
+    installed_at: float
+
+
+class Controller:
+    """Centralized network controller over a simulated network.
+
+    Parameters
+    ----------
+    network:
+        The flow-level network simulation (provides time and transfers).
+    """
+
+    def __init__(self, network: FlowNetwork):
+        self._network = network
+        self._loop = network.loop
+        self._switches: Dict[str, Switch] = build_switches(network)
+        self._tables: Dict[str, FlowTable] = {
+            sid: FlowTable(sid) for sid in self._switches
+        }
+        self._records: Dict[str, FlowRecord] = {}
+        self._removed_listeners: List[Callable[[FlowRemoved], None]] = []
+
+    # ------------------------------------------------------------------
+    # Topology / switch access
+    # ------------------------------------------------------------------
+
+    @property
+    def network(self) -> FlowNetwork:
+        return self._network
+
+    @property
+    def now(self) -> float:
+        return self._loop.now
+
+    def switch(self, switch_id: str) -> Switch:
+        return self._switches[switch_id]
+
+    def flow_table(self, switch_id: str) -> FlowTable:
+        return self._tables[switch_id]
+
+    def edge_switch_ids(self) -> List[str]:
+        from repro.net.topology import Tier
+
+        return [s.switch_id for s in self._network.topology.switches_in_tier(Tier.EDGE)]
+
+    def installed_flows(self) -> Dict[str, FlowRecord]:
+        """Live view of currently installed flows (do not mutate)."""
+        return self._records
+
+    # ------------------------------------------------------------------
+    # Flow programming
+    # ------------------------------------------------------------------
+
+    def install_path(self, flow_id: str, path: Path, size_bits: float) -> None:
+        """Program flow-table entries on every switch along ``path``."""
+        if flow_id in self._records:
+            raise ValueError(f"flow {flow_id!r} already installed")
+        topo = self._network.topology
+        for link_id in path.link_ids:
+            link = topo.links[link_id]
+            if link.src in self._tables:
+                self._tables[link.src].install(flow_id, link_id, self._loop.now)
+        self._records[flow_id] = FlowRecord(
+            flow_id=flow_id,
+            path=path,
+            size_bits=size_bits,
+            installed_at=self._loop.now,
+        )
+
+    def uninstall_path(self, flow_id: str) -> None:
+        """Remove the flow's entries from every switch (idempotent)."""
+        record = self._records.pop(flow_id, None)
+        if record is None:
+            return
+        topo = self._network.topology
+        for link_id in record.path.link_ids:
+            link = topo.links[link_id]
+            if link.src in self._tables:
+                self._tables[link.src].remove(flow_id)
+
+    def start_transfer(
+        self,
+        flow_id: str,
+        path: Path,
+        size_bits: float,
+        on_complete: Optional[Callable[[Flow], None]] = None,
+        job_id: Optional[str] = None,
+    ) -> Flow:
+        """Install rules and start the data transfer.
+
+        When the transfer completes the controller uninstalls the rules,
+        emits a :class:`FlowRemoved` to all listeners, and then invokes
+        ``on_complete``.
+        """
+        self.install_path(flow_id, path, size_bits)
+
+        def _finished(flow: Flow) -> None:
+            self.uninstall_path(flow_id)
+            removed = FlowRemoved(
+                flow_id=flow.flow_id,
+                src=flow.src,
+                dst=flow.dst,
+                bytes_sent=flow.bytes_sent,
+                duration=(flow.end_time or self._loop.now) - flow.start_time,
+            )
+            for listener in list(self._removed_listeners):
+                listener(removed)
+            if on_complete is not None:
+                on_complete(flow)
+
+        try:
+            return self._network.start_flow(
+                flow_id, path, size_bits, on_complete=_finished, job_id=job_id
+            )
+        except Exception:
+            self.uninstall_path(flow_id)
+            raise
+
+    def abort_transfer(self, flow_id: str) -> None:
+        """Cancel an in-flight transfer and clean up its rules."""
+        self._network.cancel_flow(flow_id)
+        self.uninstall_path(flow_id)
+
+    def reroute_transfer(self, flow_id: str, new_path: Path) -> None:
+        """Move an in-flight transfer to a new path, updating flow tables.
+
+        This is the primitive a centralized flow scheduler (Hedera/MicroTE
+        style) uses: old rules are removed, new rules installed, and the
+        fluid flow continues with its remaining volume on the new route.
+        """
+        record = self._records.get(flow_id)
+        if record is None:
+            raise KeyError(f"flow {flow_id!r} is not installed")
+        self._network.reroute_flow(flow_id, new_path)
+        topo = self._network.topology
+        for link_id in record.path.link_ids:
+            link = topo.links[link_id]
+            if link.src in self._tables:
+                self._tables[link.src].remove(flow_id)
+        for link_id in new_path.link_ids:
+            link = topo.links[link_id]
+            if link.src in self._tables:
+                self._tables[link.src].install(flow_id, link_id, self._loop.now)
+        record.path = new_path
+
+    # ------------------------------------------------------------------
+    # Notifications
+    # ------------------------------------------------------------------
+
+    def add_flow_removed_listener(self, listener: Callable[[FlowRemoved], None]) -> None:
+        """Subscribe to FlowRemoved events (e.g. the Flowserver)."""
+        self._removed_listeners.append(listener)
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+
+    def query_port_stats(self, switch_id: str) -> PortStatsReply:
+        """Fetch cumulative per-port byte counters from one switch."""
+        switch = self._switches[switch_id]
+        return PortStatsReply(
+            switch_id=switch_id,
+            timestamp=self._loop.now,
+            ports=tuple(switch.port_stats()),
+        )
+
+    def query_flow_stats(self, switch_id: str) -> FlowStatsReply:
+        """Fetch counters for flows sourced at hosts on one edge switch."""
+        switch = self._switches[switch_id]
+        return FlowStatsReply(
+            switch_id=switch_id,
+            timestamp=self._loop.now,
+            flows=tuple(switch.flow_stats()),
+        )
+
+    def verify_tables_consistent(self) -> List[str]:
+        """Sanity check: every active flow has entries along its whole path.
+
+        Returns a list of human-readable problems (empty when consistent);
+        used by tests and failure-injection experiments.
+        """
+        problems = []
+        topo = self._network.topology
+        for flow_id, record in self._records.items():
+            for link_id in record.path.link_ids:
+                link = topo.links[link_id]
+                if link.src in self._tables:
+                    if self._tables[link.src].lookup(flow_id) != link_id:
+                        problems.append(
+                            f"flow {flow_id}: switch {link.src} missing entry for {link_id}"
+                        )
+        for switch_id, table in self._tables.items():
+            for entry in table.entries():
+                if entry.flow_id not in self._records:
+                    problems.append(
+                        f"switch {switch_id}: stale entry for {entry.flow_id}"
+                    )
+        return problems

@@ -1,0 +1,69 @@
+"""OpenFlow-style control messages.
+
+A deliberately small subset of the protocol — exactly the messages the
+Mayflower Flowserver exchanges with switches through the controller:
+FlowMod (add/delete), FlowRemoved notifications, and the two statistics
+replies.  Messages are immutable dataclasses; the "wire" is in-process.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.net.switch import FlowStat, PortStat
+
+
+@dataclass(frozen=True)
+class FlowModAdd:
+    """Install a forwarding entry for ``flow_id`` on ``switch_id``.
+
+    ``out_link_id`` is the directed link the switch must forward the flow
+    onto (the OpenFlow "output port" action).
+    """
+
+    switch_id: str
+    flow_id: str
+    out_link_id: str
+
+
+@dataclass(frozen=True)
+class FlowModDelete:
+    """Remove the forwarding entry for ``flow_id`` from ``switch_id``."""
+
+    switch_id: str
+    flow_id: str
+
+
+@dataclass(frozen=True)
+class FlowRemoved:
+    """Switch-to-controller notification that a flow's entry was removed.
+
+    Emitted when a data transfer completes (or is torn down); the
+    Flowserver uses these to drop its tracked-flow state immediately
+    instead of waiting for the next stats poll.
+    """
+
+    flow_id: str
+    src: str
+    dst: str
+    bytes_sent: float
+    duration: float
+
+
+@dataclass(frozen=True)
+class PortStatsReply:
+    """Reply to a port-stats request: one counter per directed link."""
+
+    switch_id: str
+    timestamp: float
+    ports: Tuple[PortStat, ...]
+
+
+@dataclass(frozen=True)
+class FlowStatsReply:
+    """Reply to a flow-stats request, restricted to locally-sourced flows."""
+
+    switch_id: str
+    timestamp: float
+    flows: Tuple[FlowStat, ...]

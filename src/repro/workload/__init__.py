@@ -1,0 +1,33 @@
+"""Synthetic workload generation (§6.1.1).
+
+The paper's traffic matrix: read-job arrivals follow a Poisson process
+(rate λ per server), file popularity follows a Zipf distribution with
+skew ρ = 1.1, clients are placed relative to the requested file's primary
+replica with staggered probabilities (R, P, O) — same rack, same pod,
+other pod — and replicas are placed under the usual fault-domain
+constraints (primary uniform, second replica same pod, third replica in a
+different pod).
+"""
+
+from repro.workload.generator import (
+    FileSpec,
+    LocalityDistribution,
+    ReadJob,
+    Workload,
+    WorkloadConfig,
+    generate_workload,
+)
+from repro.workload.trace import load_workload, save_workload
+from repro.workload.zipf import ZipfSampler
+
+__all__ = [
+    "FileSpec",
+    "LocalityDistribution",
+    "ReadJob",
+    "Workload",
+    "WorkloadConfig",
+    "ZipfSampler",
+    "generate_workload",
+    "load_workload",
+    "save_workload",
+]

@@ -1,0 +1,99 @@
+"""Workload trace serialization.
+
+Materialized workloads (catalogue + job trace) round-trip through JSON so
+an exact experiment input can be archived next to its results, shared, or
+re-run against a different scheme — the reproducibility artifact a paper
+evaluation should ship.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from pathlib import Path
+from typing import Union
+
+from repro.workload.generator import (
+    FileSpec,
+    LocalityDistribution,
+    ReadJob,
+    Workload,
+    WorkloadConfig,
+)
+
+FORMAT_VERSION = 1
+
+
+def workload_to_dict(workload: Workload) -> dict:
+    """Plain-dict form of a workload (JSON-ready)."""
+    config = asdict(workload.config)
+    config["locality"] = {
+        "same_rack": workload.config.locality.same_rack,
+        "same_pod": workload.config.locality.same_pod,
+        "other_pod": workload.config.locality.other_pod,
+    }
+    return {
+        "format_version": FORMAT_VERSION,
+        "config": config,
+        "files": [
+            {
+                "name": f.name,
+                "size_bytes": f.size_bytes,
+                "replicas": list(f.replicas),
+            }
+            for f in workload.files
+        ],
+        "jobs": [
+            {
+                "job_id": j.job_id,
+                "arrival_time": j.arrival_time,
+                "client": j.client,
+                "file": j.file.name,
+                "read_bytes": j.read_bytes,
+            }
+            for j in workload.jobs
+        ],
+    }
+
+
+def workload_from_dict(payload: dict) -> Workload:
+    """Rebuild a workload from :func:`workload_to_dict` output."""
+    version = payload.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported trace format version {version!r} "
+            f"(expected {FORMAT_VERSION})"
+        )
+    raw_config = dict(payload["config"])
+    raw_config["locality"] = LocalityDistribution(**raw_config["locality"])
+    config = WorkloadConfig(**raw_config)
+    files = [
+        FileSpec(
+            name=f["name"],
+            size_bytes=f["size_bytes"],
+            replicas=tuple(f["replicas"]),
+        )
+        for f in payload["files"]
+    ]
+    by_name = {f.name: f for f in files}
+    jobs = [
+        ReadJob(
+            job_id=j["job_id"],
+            arrival_time=j["arrival_time"],
+            client=j["client"],
+            file=by_name[j["file"]],
+            read_bytes=j["read_bytes"],
+        )
+        for j in payload["jobs"]
+    ]
+    return Workload(config=config, files=files, jobs=jobs)
+
+
+def save_workload(workload: Workload, path: Union[str, Path]) -> None:
+    """Write a workload trace as JSON."""
+    Path(path).write_text(json.dumps(workload_to_dict(workload), indent=1))
+
+
+def load_workload(path: Union[str, Path]) -> Workload:
+    """Read a workload trace written by :func:`save_workload`."""
+    return workload_from_dict(json.loads(Path(path).read_text()))

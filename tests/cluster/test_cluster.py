@@ -1,0 +1,110 @@
+"""Integration tests for the fully wired cluster."""
+
+import pytest
+
+from repro.cluster import Cluster, ClusterConfig, run_cluster_workload
+from repro.experiments.metrics import summarize
+
+MB = 1024 * 1024
+
+
+def small_config(scheme="mayflower", tmp_path=None, **overrides):
+    defaults = dict(
+        pods=2,
+        racks_per_pod=2,
+        hosts_per_rack=2,
+        scheme=scheme,
+        store_payload=True,
+        seed=3,
+    )
+    if tmp_path is not None:
+        defaults["db_directory"] = tmp_path / "ns-db"
+    defaults.update(overrides)
+    return ClusterConfig(**defaults)
+
+
+def test_cluster_builds_all_components(tmp_path):
+    cluster = Cluster(small_config(tmp_path=tmp_path))
+    assert len(cluster.dataservers) == 8
+    assert cluster.flowserver is not None
+    assert cluster.nameserver_host == sorted(cluster.topology.hosts)[0]
+    cluster.shutdown()
+
+
+def test_hdfs_ecmp_cluster_has_no_flowserver(tmp_path):
+    cluster = Cluster(small_config("hdfs-ecmp", tmp_path=tmp_path))
+    assert cluster.flowserver is None
+    cluster.shutdown()
+
+
+def test_unknown_scheme_rejected(tmp_path):
+    with pytest.raises(ValueError, match="unknown cluster scheme"):
+        Cluster(small_config("nearest-ecmp", tmp_path=tmp_path))
+
+
+def test_end_to_end_file_lifecycle(tmp_path):
+    cluster = Cluster(small_config(tmp_path=tmp_path))
+    host = sorted(cluster.topology.hosts)[1]
+    client = cluster.client(host)
+    payload = b"mayflower" * 100000  # ~0.9 MB
+
+    def scenario():
+        yield from client.create("doc", chunk_bytes=4 * MB)
+        yield from client.append("doc", len(payload), payload)
+        result = yield from client.read("doc")
+        yield from client.delete("doc")
+        return result
+
+    result = cluster.run(scenario())
+    assert result.data == payload
+    assert not cluster.nameserver.exists("doc")
+    cluster.shutdown()
+
+
+def test_mayflower_cluster_read_uses_flowserver(tmp_path):
+    cluster = Cluster(small_config(tmp_path=tmp_path))
+    host = sorted(cluster.topology.hosts)[1]
+    client = cluster.client(host)
+
+    def scenario():
+        meta = yield from client.create("f", chunk_bytes=256 * MB)
+        for replica in meta.replicas:
+            cluster.dataservers[replica].load_preexisting(meta.file_id, 64 * MB)
+        cluster.nameserver.record_append("f", 64 * MB)
+        yield from client.stat("f")
+        result = yield from client.read("f")
+        return result
+
+    cluster.run(scenario())
+    assert cluster.flowserver.requests_served >= 1
+    cluster.shutdown()
+
+
+def test_client_on_unknown_host_rejected(tmp_path):
+    cluster = Cluster(small_config(tmp_path=tmp_path))
+    with pytest.raises(ValueError):
+        cluster.client("ghost")
+    cluster.shutdown()
+
+
+class TestClusterWorkload:
+    def test_returns_one_duration_per_job(self):
+        durations = run_cluster_workload(
+            "mayflower", num_jobs=20, num_files=10, seed=5
+        )
+        assert len(durations) == 20
+        assert all(d > 0 for d in durations)
+
+    def test_deterministic(self):
+        a = run_cluster_workload("hdfs-ecmp", num_jobs=15, num_files=10, seed=5)
+        b = run_cluster_workload("hdfs-ecmp", num_jobs=15, num_files=10, seed=5)
+        assert a == b
+
+    def test_mayflower_beats_hdfs_ecmp(self):
+        mayflower = summarize(
+            run_cluster_workload("mayflower", num_jobs=60, num_files=30, seed=5)
+        )
+        hdfs = summarize(
+            run_cluster_workload("hdfs-ecmp", num_jobs=60, num_files=30, seed=5)
+        )
+        assert mayflower.mean < hdfs.mean

@@ -1,0 +1,137 @@
+"""Integration tests for the Paxos-replicated nameserver."""
+
+import random
+
+import pytest
+
+from repro.consensus import build_replicated_nameserver
+from repro.fs.errors import FileAlreadyExistsError, FileNotFoundFsError
+from repro.fs.placement import PaperEvalPlacement
+from repro.net import three_tier
+from repro.rpc import RpcFabric
+from repro.sim import EventLoop, Process
+
+
+@pytest.fixture()
+def env(tmp_path):
+    topo = three_tier(pods=2, racks_per_pod=2, hosts_per_rack=2)
+    loop = EventLoop()
+    fabric = RpcFabric(loop, latency=0.0005)
+    endpoints = ["ns0", "ns1", "ns2"]
+    replicas = build_replicated_nameserver(
+        endpoints,
+        fabric,
+        loop,
+        placement_factory=lambda ep: PaperEvalPlacement(topo, random.Random(7)),
+        db_directory_factory=lambda ep: tmp_path / ep,
+        rng_factory=lambda ep: random.Random(99),
+    )
+    return topo, loop, fabric, endpoints, replicas
+
+
+def run(loop, gen):
+    proc = Process(loop, gen)
+    loop.run()
+    if proc.exception:
+        raise proc.exception
+    return proc.result
+
+
+def test_create_replicates_to_all(env):
+    topo, loop, fabric, endpoints, replicas = env
+    meta = run(loop, replicas["ns0"].create("f1"))
+    assert meta["name"] == "f1"
+    for ep in endpoints:
+        assert replicas[ep].lookup("f1") == meta
+
+
+def test_placement_identical_on_all_replicas(env):
+    """The proposer decides placement; replicas never roll their own."""
+    topo, loop, fabric, endpoints, replicas = env
+    run(loop, replicas["ns0"].create("f1"))
+    run(loop, replicas["ns1"].create("f2"))  # different proposer
+    for name in ("f1", "f2"):
+        views = {tuple(replicas[ep].lookup(name)["replicas"]) for ep in endpoints}
+        assert len(views) == 1
+        ids = {replicas[ep].lookup(name)["file_id"] for ep in endpoints}
+        assert len(ids) == 1
+
+
+def test_duplicate_create_rejected(env):
+    topo, loop, fabric, endpoints, replicas = env
+    run(loop, replicas["ns0"].create("f1"))
+    with pytest.raises(FileAlreadyExistsError):
+        run(loop, replicas["ns1"].create("f1"))
+
+
+def test_delete_and_record_append_replicate(env):
+    topo, loop, fabric, endpoints, replicas = env
+    run(loop, replicas["ns0"].create("f1"))
+    run(loop, replicas["ns1"].record_append("f1", 4096))
+    for ep in endpoints:
+        assert replicas[ep].lookup("f1")["size_bytes"] == 4096
+    run(loop, replicas["ns2"].delete("f1"))
+    for ep in endpoints:
+        assert not replicas[ep].exists("f1")
+
+
+def test_delete_missing_raises(env):
+    topo, loop, fabric, endpoints, replicas = env
+    with pytest.raises(FileNotFoundFsError):
+        run(loop, replicas["ns0"].delete("ghost"))
+
+
+def test_survives_one_replica_failure(env):
+    topo, loop, fabric, endpoints, replicas = env
+    run(loop, replicas["ns0"].create("before"))
+    fabric.set_down("ns2")
+    meta = run(loop, replicas["ns0"].create("during"))
+    assert meta["name"] == "during"
+    assert replicas["ns1"].exists("during")
+    assert not replicas["ns2"].exists("during")
+
+
+def test_failover_to_another_replica(env):
+    """Clients can simply talk to a surviving replica after leader loss."""
+    topo, loop, fabric, endpoints, replicas = env
+    run(loop, replicas["ns0"].create("f1"))
+    fabric.set_down("ns0")
+    meta = run(loop, replicas["ns1"].create("f2"))
+    assert meta["name"] == "f2"
+    assert replicas["ns1"].exists("f1")
+    assert replicas["ns2"].exists("f2")
+
+
+def test_recovered_replica_catches_up_on_next_commit(env):
+    topo, loop, fabric, endpoints, replicas = env
+    fabric.set_down("ns2")
+    run(loop, replicas["ns0"].create("missed"))
+    fabric.set_down("ns2", down=False)
+    run(loop, replicas["ns0"].create("seen"))
+    assert replicas["ns2"].exists("seen")
+    assert replicas["ns2"].exists("missed")  # caught up via learn replay
+
+
+def test_namespace_identical_after_many_mixed_ops(env):
+    topo, loop, fabric, endpoints, replicas = env
+
+    def churn():
+        for i in range(8):
+            yield from replicas[endpoints[i % 3]].create(f"f{i}")
+        for i in range(0, 8, 2):
+            yield from replicas[endpoints[(i + 1) % 3]].delete(f"f{i}")
+        for i in range(1, 8, 2):
+            yield from replicas[endpoints[(i + 2) % 3]].record_append(f"f{i}", 100 + i)
+
+    run(loop, churn())
+    reference = [
+        (name, replicas["ns0"].lookup(name)["size_bytes"])
+        for name in replicas["ns0"].list_files()
+    ]
+    assert [name for name, _ in reference] == [f"f{i}" for i in range(1, 8, 2)]
+    for ep in endpoints:
+        view = [
+            (name, replicas[ep].lookup(name)["size_bytes"])
+            for name in replicas[ep].list_files()
+        ]
+        assert view == reference

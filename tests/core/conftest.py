@@ -1,0 +1,113 @@
+"""Shared fixtures for Flowserver tests.
+
+``fig2_env`` rebuilds the worked example of the paper's Figure 2: one
+replica source S and one data reader R joined by two equal-length paths
+through aggregation switches A1 and A2, all links 10 Mbps, with the
+background flows of the figure pre-loaded into a Flowserver state table.
+"""
+
+from dataclasses import dataclass
+from typing import Dict
+
+import pytest
+
+from repro.core.flow_state import FlowStateTable, TrackedFlow
+from repro.net import LinkDirection, RoutingTable, Tier, Topology
+from repro.net.topology import Host, SwitchNode
+
+MBPS = 1e6
+MBIT = 1e6
+
+
+def build_fig2_topology(second_link_a1_capacity=10 * MBPS) -> Topology:
+    """Two-path dumbbell matching Fig. 2 (10 Mbps links by default)."""
+    topo = Topology()
+    for switch_id, tier in [
+        ("E1", Tier.EDGE),
+        ("E2", Tier.EDGE),
+        ("A1", Tier.AGGREGATION),
+        ("A2", Tier.AGGREGATION),
+    ]:
+        topo.add_switch(SwitchNode(switch_id, tier, pod="p0"))
+    topo.add_host(Host("S", rack="E1", pod="p0"))
+    topo.add_host(Host("R", rack="E2", pod="p0"))
+    topo.add_cable("S", "E1", 10 * MBPS, LinkDirection.UP)
+    topo.add_cable("E1", "A1", second_link_a1_capacity, LinkDirection.UP)
+    topo.add_cable("E1", "A2", 10 * MBPS, LinkDirection.UP)
+    topo.add_cable("A1", "E2", 10 * MBPS, LinkDirection.DOWN)
+    topo.add_cable("A2", "E2", 10 * MBPS, LinkDirection.DOWN)
+    topo.add_cable("E2", "R", 10 * MBPS, LinkDirection.DOWN)
+    return topo
+
+
+def load_fig2_flows(state: FlowStateTable) -> None:
+    """Install the figure's background flows (bandwidths in Mbps).
+
+    First path (via A1): second link carries flows of 2, 2 and 6 Mbps; the
+    third link carries a 10 Mbps flow.  Second path (via A2): second link
+    carries 2, 2 and 4 Mbps; third link carries 8 Mbps.  All remaining
+    sizes are 6 Mb as in the figure's narration.
+    """
+    background = [
+        ("bg-a1-2a", ("E1->A1",), 2 * MBPS),
+        ("bg-a1-2b", ("E1->A1",), 2 * MBPS),
+        ("bg-a1-6", ("E1->A1",), 6 * MBPS),
+        ("bg-a1-10", ("A1->E2",), 10 * MBPS),
+        ("bg-a2-2a", ("E1->A2",), 2 * MBPS),
+        ("bg-a2-2b", ("E1->A2",), 2 * MBPS),
+        ("bg-a2-4", ("E1->A2",), 4 * MBPS),
+        ("bg-a2-8", ("A2->E2",), 8 * MBPS),
+    ]
+    for flow_id, links, bw in background:
+        state.add(
+            TrackedFlow(
+                flow_id=flow_id,
+                path_link_ids=links,
+                size_bits=20 * MBIT,
+                remaining_bits=6 * MBIT,
+                bw_bps=bw,
+            )
+        )
+
+
+@dataclass
+class Fig2Env:
+    topo: Topology
+    routing: RoutingTable
+    state: FlowStateTable
+    capacities: Dict[str, float]
+
+    @property
+    def path_via_a1(self):
+        return next(p for p in self.routing.paths("S", "R") if "E1->A1" in p.link_ids)
+
+    @property
+    def path_via_a2(self):
+        return next(p for p in self.routing.paths("S", "R") if "E1->A2" in p.link_ids)
+
+
+@pytest.fixture()
+def fig2_env() -> Fig2Env:
+    topo = build_fig2_topology()
+    state = FlowStateTable()
+    load_fig2_flows(state)
+    return Fig2Env(
+        topo=topo,
+        routing=RoutingTable(topo),
+        state=state,
+        capacities={lid: link.capacity_bps for lid, link in topo.links.items()},
+    )
+
+
+@pytest.fixture()
+def fig2_env_20mbps() -> Fig2Env:
+    """Variant from the text: the E1->A1 link upgraded to 20 Mbps."""
+    topo = build_fig2_topology(second_link_a1_capacity=20 * MBPS)
+    state = FlowStateTable()
+    load_fig2_flows(state)
+    return Fig2Env(
+        topo=topo,
+        routing=RoutingTable(topo),
+        state=state,
+        capacities={lid: link.capacity_bps for lid, link in topo.links.items()},
+    )

@@ -1,0 +1,137 @@
+"""Exact reproduction of the paper's Figure 2 worked example.
+
+The paper computes, for a 9 Mb read with all links at 10 Mbps:
+
+* cost of the first path (via A1):  C1 = 9/3 + (6/3 - 6/6) + (6/7 - 6/10) = 4.25
+* cost of the second path (via A2): C2 = 9/3 + (6/3 - 6/4) + (6/7 - 6/8) = 3.6
+
+so the second path is selected.  With the first path's second link upgraded
+to 20 Mbps, C1 becomes 2.4 and the first path wins instead.
+"""
+
+import pytest
+
+from repro.core.cost import estimate_path_share, flow_cost
+from repro.core.selection import select_replica_and_path
+
+MBPS = 1e6
+READ_SIZE = 9e6  # 9 Mb
+
+
+def test_probe_share_is_3mbps_on_both_paths(fig2_env):
+    share1, bottleneck1 = estimate_path_share(
+        fig2_env.path_via_a1.link_ids, fig2_env.capacities, fig2_env.state
+    )
+    share2, bottleneck2 = estimate_path_share(
+        fig2_env.path_via_a2.link_ids, fig2_env.capacities, fig2_env.state
+    )
+    assert share1 == pytest.approx(3 * MBPS)
+    assert share2 == pytest.approx(3 * MBPS)
+    assert bottleneck1 == "E1->A1"
+    assert bottleneck2 == "E1->A2"
+
+
+def test_first_path_cost_is_4_25(fig2_env):
+    cost = flow_cost(
+        fig2_env.path_via_a1.link_ids, READ_SIZE, fig2_env.capacities, fig2_env.state
+    )
+    # 9/3 = 3 seconds for the new flow
+    assert cost.new_flow_time == pytest.approx(3.0)
+    # (6/3 - 6/6) + (6/7 - 6/10) = 1 + 0.2571...
+    assert cost.existing_flows_penalty == pytest.approx(1.0 + 6 / 7 - 0.6)
+    assert cost.total == pytest.approx(4.257142857142857)
+    assert round(cost.total, 2) == 4.26  # paper rounds to 4.25 with 2 s.f. arithmetic
+
+
+def test_second_path_cost_is_3_6(fig2_env):
+    cost = flow_cost(
+        fig2_env.path_via_a2.link_ids, READ_SIZE, fig2_env.capacities, fig2_env.state
+    )
+    assert cost.new_flow_time == pytest.approx(3.0)
+    assert cost.existing_flows_penalty == pytest.approx((6 / 3 - 6 / 4) + (6 / 7 - 6 / 8))
+    assert cost.total == pytest.approx(3.6071428571428577)
+    assert round(cost.total, 1) == 3.6
+
+
+def test_existing_flow_squeezes_match_figure(fig2_env):
+    """Fig. 2b/2c: on path 1 the 6 Mbps flow drops to 3 and the 10 Mbps flow
+    to 7; on path 2 the 4 Mbps flow drops to 3 and the 8 Mbps flow to 7."""
+    cost1 = flow_cost(
+        fig2_env.path_via_a1.link_ids, READ_SIZE, fig2_env.capacities, fig2_env.state
+    )
+    assert cost1.new_bw_of_existing == {
+        "bg-a1-6": pytest.approx(3 * MBPS),
+        "bg-a1-10": pytest.approx(7 * MBPS),
+    }
+    cost2 = flow_cost(
+        fig2_env.path_via_a2.link_ids, READ_SIZE, fig2_env.capacities, fig2_env.state
+    )
+    assert cost2.new_bw_of_existing == {
+        "bg-a2-4": pytest.approx(3 * MBPS),
+        "bg-a2-8": pytest.approx(7 * MBPS),
+    }
+
+
+def test_selection_picks_second_path(fig2_env):
+    choice = select_replica_and_path(
+        fig2_env.routing.paths("S", "R"),
+        flow_id="new",
+        flow_size_bits=READ_SIZE,
+        link_capacity_bps=fig2_env.capacities,
+        state=fig2_env.state,
+        now=0.0,
+    )
+    assert "E1->A2" in choice.path.link_ids
+
+
+def test_20mbps_variant_flips_the_decision(fig2_env_20mbps):
+    """§4.2: 'if we assume that the second link in the first path has 20Mbps
+    capacity, then the cost of the first path will become 2.4 and thus the
+    first path will be selected.'"""
+    env = fig2_env_20mbps
+    cost1 = flow_cost(env.path_via_a1.link_ids, READ_SIZE, env.capacities, env.state)
+    # probe now gets 5 Mbps (bottlenecked by the 10 Mbps third link)
+    assert cost1.est_bw_bps == pytest.approx(5 * MBPS)
+    assert cost1.total == pytest.approx(2.4)
+    # only the 10 Mbps flow is squeezed (to 5); the 6 Mbps flow is untouched
+    assert cost1.new_bw_of_existing == {"bg-a1-10": pytest.approx(5 * MBPS)}
+
+    choice = select_replica_and_path(
+        env.routing.paths("S", "R"),
+        flow_id="new",
+        flow_size_bits=READ_SIZE,
+        link_capacity_bps=env.capacities,
+        state=env.state,
+        now=0.0,
+    )
+    assert "E1->A1" in choice.path.link_ids
+
+
+def test_commit_freezes_and_updates_squeezed_flows(fig2_env):
+    select_replica_and_path(
+        fig2_env.routing.paths("S", "R"),
+        flow_id="new",
+        flow_size_bits=READ_SIZE,
+        link_capacity_bps=fig2_env.capacities,
+        state=fig2_env.state,
+        now=100.0,
+    )
+    new = fig2_env.state.flows["new"]
+    assert new.bw_bps == pytest.approx(3 * MBPS)
+    assert new.freezed
+    # expected completion 9e6 / 3e6 = 3 s
+    assert new.freeze_until == pytest.approx(103.0)
+
+    squeezed4 = fig2_env.state.flows["bg-a2-4"]
+    assert squeezed4.bw_bps == pytest.approx(3 * MBPS)
+    assert squeezed4.freezed
+    assert squeezed4.freeze_until == pytest.approx(102.0)  # 6 Mb / 3 Mbps
+
+    squeezed8 = fig2_env.state.flows["bg-a2-8"]
+    assert squeezed8.bw_bps == pytest.approx(7 * MBPS)
+    assert squeezed8.freezed
+
+    # flows on the losing path keep their estimates, unfrozen
+    untouched = fig2_env.state.flows["bg-a1-6"]
+    assert untouched.bw_bps == pytest.approx(6 * MBPS)
+    assert not untouched.freezed

@@ -1,0 +1,105 @@
+"""Unit tests for ASCII chart rendering."""
+
+import pytest
+
+from repro.experiments.charts import (
+    ascii_bar_chart,
+    ascii_line_chart,
+    chart_figure4,
+    chart_figure6_panel,
+)
+
+
+class TestBarChart:
+    def test_bars_scale_to_peak(self):
+        text = ascii_bar_chart({"a": 1.0, "b": 2.0}, width=10)
+        lines = text.splitlines()
+        assert lines[0].count("█") == 5
+        assert lines[1].count("█") == 10
+
+    def test_labels_and_values_present(self):
+        text = ascii_bar_chart({"mayflower": 1.0, "nearest": 3.42}, unit="x")
+        assert "mayflower" in text
+        assert "3.42x" in text
+
+    def test_title(self):
+        text = ascii_bar_chart({"a": 1.0}, title="hello")
+        assert text.splitlines()[0] == "hello"
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_bar_chart({})
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_bar_chart({"a": 0.0})
+
+
+class TestLineChart:
+    def test_markers_and_legend(self):
+        series = {
+            "up": {1.0: 1.0, 2.0: 2.0, 3.0: 3.0},
+            "flat": {1.0: 1.5, 2.0: 1.5, 3.0: 1.5},
+        }
+        text = ascii_line_chart(series, width=30, height=8)
+        assert "o = up" in text
+        assert "x = flat" in text
+        assert text.count("o") >= 3
+
+    @staticmethod
+    def grid_rows(text):
+        """The plotting area only (rows before the x-axis line)."""
+        lines = text.splitlines()
+        axis = next(i for i, line in enumerate(lines) if set(line.strip()) <= {"+", "-"} and "+" in line)
+        return lines[:axis]
+
+    def test_none_points_skipped(self):
+        series = {"partial": {1.0: 1.0, 2.0: None, 3.0: 2.0}}
+        text = ascii_line_chart(series, width=20, height=6)
+        grid = "\n".join(self.grid_rows(text))
+        assert grid.count("o") == 2
+
+    def test_monotone_series_renders_monotone(self):
+        """Higher y values land on higher rows."""
+        series = {"s": {0.0: 0.0, 1.0: 10.0}}
+        text = ascii_line_chart(series, width=21, height=11)
+        rows = [i for i, line in enumerate(self.grid_rows(text)) if "o" in line]
+        assert len(rows) == 2
+        assert rows[0] < rows[1]  # the larger value is nearer the top
+
+    def test_axis_labels(self):
+        text = ascii_line_chart(
+            {"s": {0.06: 3.0, 0.14: 11.0}}, x_label="λ", y_label="seconds"
+        )
+        assert "x: λ" in text
+        assert "y: seconds" in text
+        assert "0.06" in text and "0.14" in text
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_line_chart({"s": {1.0: None}})
+
+
+class TestFigureAdapters:
+    def test_chart_figure6_panel(self):
+        panel = {
+            "locality": "(0.5, 0.3, 0.2)",
+            "curves": {
+                "mayflower": {0.06: {"mean_s": 3.0}, 0.14: {"mean_s": 11.0}},
+                "nearest-ecmp": {0.06: {"mean_s": 15.0}, 0.14: None},
+            },
+        }
+        text = chart_figure6_panel(panel)
+        assert "mayflower" in text
+        assert "locality (0.5, 0.3, 0.2)" in text
+
+    def test_chart_figure4(self):
+        result = {
+            "locality": "(0.5, 0.3, 0.2)",
+            "schemes": {
+                "mayflower": {"mean_normalized": 1.0},
+                "nearest-ecmp": {"mean_normalized": 3.4},
+            },
+        }
+        text = chart_figure4(result)
+        assert "3.40x" in text

@@ -1,0 +1,30 @@
+"""Unit tests for the figure-regeneration CLI."""
+
+import pytest
+
+from repro.experiments.__main__ import main
+
+
+def test_fig2_target(capsys):
+    assert main(["fig2"]) == 0
+    out = capsys.readouterr().out
+    assert "4.257" in out
+    assert "3.607" in out
+
+
+def test_small_fig4_run(capsys):
+    assert main(["fig4", "--jobs", "15", "--files", "8", "--seed", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "mayflower" in out
+    assert "1.00x" in out
+
+
+def test_out_file(tmp_path, capsys):
+    out_file = tmp_path / "report.txt"
+    assert main(["fig2", "--out", str(out_file)]) == 0
+    assert "4.257" in out_file.read_text()
+
+
+def test_unknown_target_rejected():
+    with pytest.raises(SystemExit):
+        main(["fig99"])

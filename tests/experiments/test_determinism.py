@@ -1,0 +1,37 @@
+"""End-to-end determinism: identical seeds give identical results.
+
+Reproducibility is a core deliverable — every layer draws randomness from
+named seeded streams, so whole experiments must be bit-identical across
+runs (and any difference is a regression in stream discipline).
+"""
+
+from repro.experiments import figures
+from repro.cluster import run_cluster_workload
+
+
+def test_figure4_is_deterministic():
+    a = figures.figure4(seed=3, num_jobs=25, num_files=12)
+    b = figures.figure4(seed=3, num_jobs=25, num_files=12)
+    for scheme in a["schemes"]:
+        assert a["schemes"][scheme]["raw"] == b["schemes"][scheme]["raw"]
+
+
+def test_figure4_seed_changes_results():
+    a = figures.figure4(seed=3, num_jobs=25, num_files=12)
+    b = figures.figure4(seed=4, num_jobs=25, num_files=12)
+    assert (
+        a["schemes"]["mayflower"]["raw"] != b["schemes"]["mayflower"]["raw"]
+    )
+
+
+def test_cluster_workload_is_deterministic():
+    a = run_cluster_workload("mayflower", num_jobs=15, num_files=8, seed=6)
+    b = run_cluster_workload("mayflower", num_jobs=15, num_files=8, seed=6)
+    assert a == b
+
+
+def test_multireplica_ablation_is_deterministic():
+    a = figures.multireplica_ablation(seed=3, num_jobs=20, num_files=10)
+    b = figures.multireplica_ablation(seed=3, num_jobs=20, num_files=10)
+    assert a["results"]["split"]["raw"] == b["results"]["split"]["raw"]
+    assert a["results"]["improvement"] == b["results"]["improvement"]

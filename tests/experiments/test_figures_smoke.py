@@ -1,0 +1,65 @@
+"""Smoke tests: every figure entry point produces a well-formed result.
+
+Tiny job counts — correctness of *structure*, not statistics (the real
+runs live in benchmarks/).
+"""
+
+import pytest
+
+from repro.experiments import figures
+from repro.experiments.report import (
+    render_figure4,
+    render_figure5,
+    render_figure6,
+    render_figure7,
+    render_figure8,
+    render_multireplica,
+)
+
+SMALL = dict(seed=5, num_jobs=20, num_files=10)
+
+
+def test_figure4_structure():
+    result = figures.figure4(**SMALL)
+    assert set(result["schemes"]) == set(figures.FIGURE_SCHEMES)
+    for stats in result["schemes"].values():
+        assert stats["mean_s"] > 0
+        assert len(stats["raw"]) == 20
+    assert result["schemes"]["mayflower"]["mean_normalized"] == pytest.approx(1.0)
+    render_figure4(result)  # renders without error
+
+
+def test_figure5_structure():
+    result = figures.figure5(**SMALL)
+    assert len(result["groups"]) == 4
+    render_figure5(result)
+
+
+def test_figure6_structure():
+    result = figures.figure6(
+        seed=5, num_jobs=20, num_files=10, rates_a=(0.06,), rates_b=(0.06,)
+    )
+    assert set(result["panels"]) == {"a", "b"}
+    for panel in result["panels"].values():
+        assert set(panel["curves"]) == set(figures.FIGURE_SCHEMES)
+    render_figure6(result)
+
+
+def test_figure7_structure():
+    result = figures.figure7(seed=5, num_jobs=20, num_files=10,
+                             oversubscriptions=(8.0, 16.0))
+    assert set(result["curves"]) == {"mayflower", "sinbad-mayflower"}
+    render_figure7(result)
+
+
+def test_figure8_structure():
+    result = figures.figure8(seed=5, num_jobs=15, num_files=8, rates=(0.07,))
+    assert set(result["curves"]) == {"mayflower", "hdfs-mayflower", "hdfs-ecmp"}
+    render_figure8(result)
+
+
+def test_multireplica_structure():
+    result = figures.multireplica_ablation(**SMALL)
+    assert set(result["results"]) == {"split", "single", "improvement"}
+    assert result["results"]["single"]["split_jobs"] == 0
+    render_multireplica(result)

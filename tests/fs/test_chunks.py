@@ -1,0 +1,102 @@
+"""Unit tests for file/chunk metadata."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.fs.chunks import (
+    DEFAULT_CHUNK_BYTES,
+    FileMetadata,
+    chunk_count,
+    chunk_ranges,
+    new_file_id,
+)
+
+MB = 1024 * 1024
+
+
+class TestChunkArithmetic:
+    def test_empty_file_has_no_chunks(self):
+        assert chunk_count(0) == 0
+        assert chunk_ranges(0) == []
+
+    def test_exact_multiple(self):
+        assert chunk_count(512 * MB, 256 * MB) == 2
+
+    def test_partial_final_chunk(self):
+        assert chunk_count(300 * MB, 256 * MB) == 2
+
+    def test_single_byte(self):
+        assert chunk_count(1, 256 * MB) == 1
+
+    def test_ranges_cover_file_exactly(self):
+        ranges = chunk_ranges(600 * MB, 256 * MB)
+        assert ranges[0] == (0, 256 * MB)
+        assert ranges[1] == (256 * MB, 512 * MB)
+        assert ranges[2] == (512 * MB, 600 * MB)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            chunk_count(-1)
+
+    def test_zero_chunk_size_rejected(self):
+        with pytest.raises(ValueError):
+            chunk_count(100, 0)
+
+    @given(
+        st.integers(min_value=0, max_value=10**7),
+        st.integers(min_value=10**3, max_value=10**7),
+    )
+    def test_property_ranges_partition_file(self, size, chunk):
+        ranges = chunk_ranges(size, chunk)
+        assert len(ranges) == chunk_count(size, chunk)
+        if ranges:
+            assert ranges[0][0] == 0
+            assert ranges[-1][1] == size
+            for (_, end_a), (start_b, _) in zip(ranges, ranges[1:]):
+                assert end_a == start_b
+            for start, end in ranges:
+                assert 0 < end - start <= chunk
+
+
+class TestFileMetadata:
+    def make(self, size=300 * MB):
+        return FileMetadata(
+            name="f",
+            file_id="id-1",
+            size_bytes=size,
+            chunk_bytes=256 * MB,
+            replicas=("h1", "h2", "h3"),
+        )
+
+    def test_primary_is_first_replica(self):
+        assert self.make().primary == "h1"
+
+    def test_num_chunks(self):
+        assert self.make().num_chunks == 2
+        assert self.make(0).num_chunks == 0
+
+    def test_last_chunk_index(self):
+        assert self.make().last_chunk_index() == 1
+        assert self.make(0).last_chunk_index() == -1
+
+    def test_with_size_returns_new_object(self):
+        meta = self.make()
+        bigger = meta.with_size(600 * MB)
+        assert bigger.size_bytes == 600 * MB
+        assert meta.size_bytes == 300 * MB
+        assert bigger.replicas == meta.replicas
+
+    def test_json_round_trip(self):
+        meta = self.make()
+        assert FileMetadata.from_json_dict(meta.to_json_dict()) == meta
+
+    def test_default_chunk_is_256mb(self):
+        assert DEFAULT_CHUNK_BYTES == 256 * MB
+
+
+def test_new_file_id_is_uuid_shaped():
+    fid = new_file_id()
+    parts = fid.split("-")
+    assert [len(p) for p in parts] == [8, 4, 4, 4, 12]
+    assert new_file_id() != fid

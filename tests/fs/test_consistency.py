@@ -1,0 +1,82 @@
+"""Unit tests for consistency-mode read splitting (§3.4)."""
+
+import pytest
+
+from repro.fs.chunks import FileMetadata
+from repro.fs.consistency import ConsistencyMode, replica_candidates_for_range
+
+MB = 1024 * 1024
+
+
+def make_meta(size_mb=600, chunk_mb=256):
+    return FileMetadata(
+        name="f",
+        file_id="id",
+        size_bytes=size_mb * MB,
+        chunk_bytes=chunk_mb * MB,
+        replicas=("primary", "r2", "r3"),
+    )
+
+
+def test_sequential_mode_never_splits():
+    meta = make_meta()
+    subranges = replica_candidates_for_range(
+        meta, 0, meta.size_bytes, ConsistencyMode.SEQUENTIAL
+    )
+    assert subranges == [(0, meta.size_bytes, ["primary", "r2", "r3"])]
+
+
+def test_strong_mode_pins_last_chunk_to_primary():
+    meta = make_meta(600, 256)  # chunks: [0,256), [256,512), [512,600)
+    subranges = replica_candidates_for_range(
+        meta, 0, meta.size_bytes, ConsistencyMode.STRONG
+    )
+    assert len(subranges) == 2
+    head, tail = subranges
+    assert head == (0, 512 * MB, ["primary", "r2", "r3"])
+    assert tail == (512 * MB, 88 * MB, ["primary"])
+
+
+def test_strong_mode_read_avoiding_last_chunk_is_free():
+    meta = make_meta(600, 256)
+    subranges = replica_candidates_for_range(
+        meta, 0, 512 * MB, ConsistencyMode.STRONG
+    )
+    assert subranges == [(0, 512 * MB, ["primary", "r2", "r3"])]
+
+
+def test_strong_mode_read_entirely_in_last_chunk():
+    meta = make_meta(600, 256)
+    subranges = replica_candidates_for_range(
+        meta, 550 * MB, 10 * MB, ConsistencyMode.STRONG
+    )
+    assert subranges == [(550 * MB, 10 * MB, ["primary"])]
+
+
+def test_strong_mode_single_chunk_file_pins_everything():
+    meta = make_meta(100, 256)
+    subranges = replica_candidates_for_range(
+        meta, 0, 100 * MB, ConsistencyMode.STRONG
+    )
+    assert subranges == [(0, 100 * MB, ["primary"])]
+
+
+def test_vast_majority_of_large_file_keeps_replica_freedom():
+    """§3.4: 'for large multi-gigabyte files, the vast majority of chunks
+    can be serviced by any replica host'."""
+    meta = make_meta(10 * 1024, 256)  # 10 GB file, 40 chunks
+    subranges = replica_candidates_for_range(
+        meta, 0, meta.size_bytes, ConsistencyMode.STRONG
+    )
+    free_bytes = sum(
+        length for _, length, replicas in subranges if len(replicas) > 1
+    )
+    assert free_bytes / meta.size_bytes > 0.97
+
+
+def test_invalid_ranges_rejected():
+    meta = make_meta()
+    with pytest.raises(ValueError):
+        replica_candidates_for_range(meta, -1, 10, ConsistencyMode.STRONG)
+    with pytest.raises(ValueError):
+        replica_candidates_for_range(meta, 0, 0, ConsistencyMode.STRONG)

@@ -1,0 +1,220 @@
+"""Unit tests for the dataserver (appends, relays, reads, locking)."""
+
+import pytest
+
+from repro.fs.chunks import FileMetadata
+from repro.fs.errors import FileNotFoundFsError, InvalidRequestError
+from repro.sim import Process
+
+MB = 1024 * 1024
+
+
+def create_everywhere(mini_cluster, name="f1", chunk_bytes=4 * MB):
+    """Create a file on the nameserver and all its replica dataservers."""
+    meta_dict = mini_cluster.nameserver.create(name, chunk_bytes=chunk_bytes)
+    for replica in meta_dict["replicas"]:
+        mini_cluster.dataservers[replica].create_file(meta_dict)
+    return FileMetadata.from_json_dict(meta_dict)
+
+
+def other_host(mini_cluster, meta):
+    return next(
+        h for h in sorted(mini_cluster.dataservers) if h not in meta.replicas
+    )
+
+
+def test_create_is_idempotent(mini_cluster):
+    meta = create_everywhere(mini_cluster)
+    ds = mini_cluster.dataservers[meta.primary]
+    assert ds.create_file(meta.to_json_dict()) == meta.file_id
+    assert ds.has_file(meta.file_id)
+
+
+def test_delete_file(mini_cluster):
+    meta = create_everywhere(mini_cluster)
+    ds = mini_cluster.dataservers[meta.primary]
+    assert ds.delete_file(meta.file_id) is True
+    assert ds.delete_file(meta.file_id) is False
+    assert not ds.has_file(meta.file_id)
+
+
+def test_append_commits_on_all_replicas(mini_cluster):
+    meta = create_everywhere(mini_cluster)
+    writer = other_host(mini_cluster, meta)
+    payload = b"x" * (1 * MB)
+
+    def client():
+        new_size = yield from mini_cluster.fabric.invoke(
+            writer, meta.primary, "dataserver", "append",
+            meta.file_id, len(payload), writer, payload,
+        )
+        return new_size
+
+    new_size = mini_cluster.run(client())
+    assert new_size == 1 * MB
+    for replica in meta.replicas:
+        assert mini_cluster.dataservers[replica].file_size(meta.file_id) == 1 * MB
+
+
+def test_append_updates_nameserver_size(mini_cluster):
+    meta = create_everywhere(mini_cluster)
+    writer = other_host(mini_cluster, meta)
+
+    def client():
+        yield from mini_cluster.fabric.invoke(
+            writer, meta.primary, "dataserver", "append",
+            meta.file_id, 2 * MB, writer, None,
+        )
+
+    mini_cluster.run(client())
+    assert mini_cluster.nameserver.lookup("f1")["size_bytes"] == 2 * MB
+
+
+def test_append_to_non_primary_rejected(mini_cluster):
+    meta = create_everywhere(mini_cluster)
+    secondary = meta.replicas[1]
+    ds = mini_cluster.dataservers[secondary]
+    with pytest.raises(InvalidRequestError):
+        # the validation happens before any yielding
+        gen = ds.append(meta.file_id, 1 * MB, "someone")
+        next(gen)
+
+
+def test_appends_fill_chunks_sequentially(mini_cluster):
+    meta = create_everywhere(mini_cluster, chunk_bytes=4 * MB)
+    writer = other_host(mini_cluster, meta)
+
+    def client():
+        for size in (3 * MB, 3 * MB, 3 * MB):
+            yield from mini_cluster.fabric.invoke(
+                writer, meta.primary, "dataserver", "append",
+                meta.file_id, size, writer, None,
+            )
+
+    mini_cluster.run(client())
+    ds = mini_cluster.dataservers[meta.primary]
+    size, chunks = ds.stat(meta.file_id)
+    assert size == 9 * MB
+    assert chunks == 3  # 4 + 4 + 1
+
+
+def test_concurrent_appends_serialized_and_atomic(mini_cluster):
+    meta = create_everywhere(mini_cluster)
+    writers = [h for h in sorted(mini_cluster.dataservers) if h not in meta.replicas][:2]
+    results = []
+
+    def client(writer, payload):
+        new_size = yield from mini_cluster.fabric.invoke(
+            writer, meta.primary, "dataserver", "append",
+            meta.file_id, len(payload), writer, payload,
+        )
+        results.append(new_size)
+
+    Process(mini_cluster.loop, client(writers[0], b"a" * MB))
+    Process(mini_cluster.loop, client(writers[1], b"b" * MB))
+    mini_cluster.loop.run()
+    # both committed; sizes reflect a total order (1 MB then 2 MB)
+    assert sorted(results) == [1 * MB, 2 * MB]
+    primary = mini_cluster.dataservers[meta.primary]
+    stored = primary._files[meta.file_id]
+    # payload is one writer's bytes then the other's, never interleaved
+    body = bytes(stored.payload)
+    assert body in (b"a" * MB + b"b" * MB, b"b" * MB + b"a" * MB)
+    # every replica converged to the same content
+    for replica in meta.replicas[1:]:
+        other = mini_cluster.dataservers[replica]._files[meta.file_id]
+        assert bytes(other.payload) == body
+
+
+def test_read_returns_data_and_size(mini_cluster):
+    meta = create_everywhere(mini_cluster)
+    writer = other_host(mini_cluster, meta)
+    payload = bytes(range(256)) * 4096  # 1 MB
+
+    def client():
+        yield from mini_cluster.fabric.invoke(
+            writer, meta.primary, "dataserver", "append",
+            meta.file_id, len(payload), writer, payload,
+        )
+        reply = yield from mini_cluster.fabric.invoke(
+            writer, meta.primary, "dataserver", "serve_read",
+            meta.file_id, 1000, 5000, writer,
+        )
+        return reply
+
+    reply = mini_cluster.run(client())
+    assert reply.data == payload[1000:6000]
+    assert reply.file_size == len(payload)
+
+
+def test_read_past_end_rejected(mini_cluster):
+    meta = create_everywhere(mini_cluster)
+    ds = mini_cluster.dataservers[meta.primary]
+    ds.load_preexisting(meta.file_id, 100)
+
+    def client():
+        yield from mini_cluster.fabric.invoke(
+            meta.primary, meta.primary, "dataserver", "serve_read",
+            meta.file_id, 50, 100, meta.primary,
+        )
+
+    from repro.rpc.errors import RemoteInvocationError
+    with pytest.raises(RemoteInvocationError, match="past end"):
+        mini_cluster.run(client())
+
+
+def test_read_of_unknown_file(mini_cluster):
+    ds = mini_cluster.dataservers[sorted(mini_cluster.dataservers)[0]]
+    with pytest.raises(FileNotFoundFsError):
+        ds.file_size("nope")
+
+
+def test_read_waits_for_append_touching_last_chunk(mini_cluster):
+    """A read of the last chunk issued mid-append completes only after the
+    append commits, and observes the appended bytes."""
+    meta = create_everywhere(mini_cluster, chunk_bytes=4 * MB)
+    writer = other_host(mini_cluster, meta)
+    ds = mini_cluster.dataservers[meta.primary]
+    ds.load_preexisting(meta.file_id, 1 * MB)
+    order = []
+
+    def appender():
+        yield from mini_cluster.fabric.invoke(
+            writer, meta.primary, "dataserver", "append",
+            meta.file_id, 1 * MB, writer, None,
+        )
+        order.append(("append-done", mini_cluster.loop.now))
+
+    def reader():
+        reply = yield from mini_cluster.fabric.invoke(
+            writer, meta.primary, "dataserver", "serve_read",
+            meta.file_id, 0, 1 * MB, writer,
+        )
+        order.append(("read-done", mini_cluster.loop.now))
+        return reply
+
+    Process(mini_cluster.loop, appender())
+    # reader starts shortly after the append is in flight
+    mini_cluster.loop.call_at(0.001, Process, mini_cluster.loop, reader())
+    mini_cluster.loop.run()
+    labels = [label for label, _ in order]
+    assert labels == ["append-done", "read-done"]
+
+
+def test_list_files_reports_committed_sizes(mini_cluster):
+    meta = create_everywhere(mini_cluster)
+    ds = mini_cluster.dataservers[meta.primary]
+    ds.load_preexisting(meta.file_id, 7 * MB)
+    listing = ds.list_files()
+    assert len(listing) == 1
+    assert listing[0]["file_id"] == meta.file_id
+    assert listing[0]["size_bytes"] == 7 * MB
+
+
+def test_load_preexisting_validates(mini_cluster):
+    meta = create_everywhere(mini_cluster)
+    ds = mini_cluster.dataservers[meta.primary]
+    with pytest.raises(InvalidRequestError):
+        ds.load_preexisting(meta.file_id, -1)
+    ds.load_preexisting(meta.file_id, 0)
+    assert ds.file_size(meta.file_id) == 0

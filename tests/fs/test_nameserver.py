@@ -1,0 +1,145 @@
+"""Unit tests for the nameserver."""
+
+import random
+
+import pytest
+
+from repro.fs.errors import (
+    FileAlreadyExistsError,
+    FileNotFoundFsError,
+    InvalidRequestError,
+)
+from repro.fs.nameserver import Nameserver
+from repro.fs.placement import PaperEvalPlacement
+from repro.net import three_tier
+
+
+@pytest.fixture()
+def ns(tmp_path):
+    topo = three_tier(pods=2, racks_per_pod=2, hosts_per_rack=2)
+    server = Nameserver(
+        tmp_path / "db",
+        PaperEvalPlacement(topo, random.Random(1)),
+        rng=random.Random(2),
+    )
+    yield server
+    server.close()
+
+
+def test_create_places_replicas(ns):
+    meta = ns.create("f1")
+    assert meta["name"] == "f1"
+    assert meta["size_bytes"] == 0
+    assert len(meta["replicas"]) == 3
+    assert len(set(meta["replicas"])) == 3
+
+
+def test_create_duplicate_rejected(ns):
+    ns.create("f1")
+    with pytest.raises(FileAlreadyExistsError):
+        ns.create("f1")
+
+
+def test_create_empty_name_rejected(ns):
+    with pytest.raises(InvalidRequestError):
+        ns.create("")
+
+
+def test_lookup(ns):
+    created = ns.create("f1")
+    fetched = ns.lookup("f1")
+    assert fetched == created
+    assert ns.lookups == 1
+
+
+def test_lookup_missing(ns):
+    with pytest.raises(FileNotFoundFsError):
+        ns.lookup("ghost")
+
+
+def test_delete(ns):
+    ns.create("f1")
+    meta = ns.delete("f1")
+    assert meta["name"] == "f1"
+    assert not ns.exists("f1")
+    with pytest.raises(FileNotFoundFsError):
+        ns.delete("f1")
+
+
+def test_record_append_updates_size(ns):
+    ns.create("f1")
+    assert ns.record_append("f1", 1000) == 1000
+    assert ns.lookup("f1")["size_bytes"] == 1000
+
+
+def test_record_append_cannot_shrink(ns):
+    ns.create("f1")
+    ns.record_append("f1", 1000)
+    with pytest.raises(InvalidRequestError):
+        ns.record_append("f1", 500)
+
+
+def test_list_files_sorted(ns):
+    for name in ("b", "a", "c"):
+        ns.create(name)
+    assert ns.list_files() == ["a", "b", "c"]
+
+
+def test_file_ids_unique_and_deterministic(tmp_path):
+    topo = three_tier(pods=2, racks_per_pod=2, hosts_per_rack=2)
+
+    def build(directory):
+        return Nameserver(
+            directory,
+            PaperEvalPlacement(topo, random.Random(1)),
+            rng=random.Random(42),
+        )
+
+    ns1 = build(tmp_path / "a")
+    ns2 = build(tmp_path / "b")
+    ids1 = [ns1.create(f"f{i}")["file_id"] for i in range(10)]
+    ids2 = [ns2.create(f"f{i}")["file_id"] for i in range(10)]
+    assert ids1 == ids2
+    assert len(set(ids1)) == 10
+    ns1.close()
+    ns2.close()
+
+
+def test_graceful_restart_preserves_namespace(tmp_path):
+    topo = three_tier(pods=2, racks_per_pod=2, hosts_per_rack=2)
+    placement = PaperEvalPlacement(topo, random.Random(1))
+    ns = Nameserver(tmp_path / "db", placement, rng=random.Random(2))
+    meta = ns.create("f1")
+    ns.record_append("f1", 123)
+    ns.close()
+
+    reopened = Nameserver(tmp_path / "db", placement, rng=random.Random(2))
+    fetched = reopened.lookup("f1")
+    assert fetched["file_id"] == meta["file_id"]
+    assert fetched["size_bytes"] == 123
+    reopened.close()
+
+
+def test_rebuild_from_dataservers(mini_cluster):
+    """Unexpected restart: mappings come back from dataserver scans, with
+    the primary's size winning over stale secondaries."""
+    ns = mini_cluster.nameserver
+    meta = ns.create("f1")
+    for replica in meta["replicas"]:
+        mini_cluster.dataservers[replica].create_file(meta)
+    # primary has 100 committed bytes, a secondary lags at 50
+    mini_cluster.dataservers[meta["replicas"][0]].load_preexisting(meta["file_id"], 100)
+    mini_cluster.dataservers[meta["replicas"][1]].load_preexisting(meta["file_id"], 50)
+
+    def rebuild():
+        count = yield from ns.rebuild_from_dataservers(
+            mini_cluster.fabric,
+            mini_cluster.nameserver_host,
+            sorted(mini_cluster.dataservers),
+        )
+        return count
+
+    recovered = mini_cluster.run(rebuild())
+    assert recovered == 1
+    assert ns.lookup("f1")["size_bytes"] == 100
+    assert ns.lookup("f1")["file_id"] == meta["file_id"]

@@ -1,0 +1,205 @@
+"""Unit and property tests for the full KV store."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.kvstore import KVStore, KVStoreConfig
+
+
+def small_config(**overrides):
+    defaults = dict(flush_threshold_bytes=256, compaction_trigger=3)
+    defaults.update(overrides)
+    return KVStoreConfig(**defaults)
+
+
+def test_put_get_delete(tmp_path):
+    with KVStore(tmp_path) as db:
+        db.put("a", "1")
+        assert db.get("a") == "1"
+        db.delete("a")
+        assert db.get("a") is None
+
+
+def test_get_absent(tmp_path):
+    with KVStore(tmp_path) as db:
+        assert db.get("nothing") is None
+
+
+def test_type_errors(tmp_path):
+    with KVStore(tmp_path) as db:
+        with pytest.raises(TypeError):
+            db.put(1, "x")
+        with pytest.raises(TypeError):
+            db.put("x", 1)
+
+
+def test_overwrite_across_flush(tmp_path):
+    with KVStore(tmp_path, small_config()) as db:
+        db.put("a", "old")
+        db.flush()
+        db.put("a", "new")
+        assert db.get("a") == "new"
+
+
+def test_delete_shadows_flushed_value(tmp_path):
+    with KVStore(tmp_path, small_config()) as db:
+        db.put("a", "1")
+        db.flush()
+        db.delete("a")
+        assert db.get("a") is None
+        db.flush()
+        assert db.get("a") is None
+
+
+def test_scan_merges_layers(tmp_path):
+    with KVStore(tmp_path, small_config()) as db:
+        db.put("k1", "old")
+        db.put("k2", "2")
+        db.flush()
+        db.put("k1", "new")
+        db.put("k3", "3")
+        db.delete("k2")
+        assert list(db.scan()) == [("k1", "new"), ("k3", "3")]
+
+
+def test_scan_prefix(tmp_path):
+    with KVStore(tmp_path) as db:
+        db.put("file/a", "1")
+        db.put("file/b", "2")
+        db.put("chunk/a", "3")
+        assert list(db.scan("file/")) == [("file/a", "1"), ("file/b", "2")]
+
+
+def test_automatic_flush_on_threshold(tmp_path):
+    db = KVStore(tmp_path, small_config(flush_threshold_bytes=64))
+    for i in range(20):
+        db.put(f"key{i:04d}", "v" * 16)
+    assert db.table_count >= 1
+    for i in range(20):
+        assert db.get(f"key{i:04d}") == "v" * 16
+    db.close()
+
+
+def test_compaction_bounds_table_count(tmp_path):
+    db = KVStore(tmp_path, small_config(compaction_trigger=2))
+    for i in range(10):
+        db.put(f"k{i}", str(i))
+        db.flush()
+    assert db.table_count <= 2
+    for i in range(10):
+        assert db.get(f"k{i}") == str(i)
+    db.close()
+
+
+def test_compaction_purges_deleted_keys(tmp_path):
+    db = KVStore(tmp_path, small_config())
+    db.put("a", "1")
+    db.put("b", "2")
+    db.flush()
+    db.delete("a")
+    db.flush()
+    db.compact()
+    assert db.table_count == 1
+    assert db.get("a") is None
+    assert db.get("b") == "2"
+    db.close()
+
+
+def test_graceful_restart_recovers_everything(tmp_path):
+    with KVStore(tmp_path, small_config()) as db:
+        for i in range(50):
+            db.put(f"k{i:03d}", str(i))
+        db.delete("k010")
+    reopened = KVStore(tmp_path, small_config())
+    assert reopened.get("k000") == "0"
+    assert reopened.get("k049") == "49"
+    assert reopened.get("k010") is None
+    assert len(reopened) == 49
+    reopened.close()
+
+
+def test_crash_restart_replays_wal(tmp_path):
+    db = KVStore(tmp_path, small_config())
+    db.put("flushed", "yes")
+    db.flush()
+    db.put("unflushed", "pending")
+    db.delete("flushed")
+    # crash: no close(), WAL survives
+    db._wal.close()
+    recovered = KVStore(tmp_path, small_config())
+    assert recovered.recovered_records == 2
+    assert recovered.get("unflushed") == "pending"
+    assert recovered.get("flushed") is None
+    recovered.close()
+
+
+def test_crash_with_torn_wal_record(tmp_path):
+    db = KVStore(tmp_path, small_config())
+    db.put("a", "1")
+    db.put("b", "2")
+    db._wal.close()
+    wal_path = tmp_path / KVStore.WAL_FILE
+    wal_path.write_bytes(wal_path.read_bytes()[:-4])
+    recovered = KVStore(tmp_path, small_config())
+    assert recovered.get("a") == "1"
+    assert recovered.get("b") is None  # torn record lost
+    assert recovered.lost_records == 1
+    recovered.close()
+
+
+def test_operations_after_close_rejected(tmp_path):
+    db = KVStore(tmp_path)
+    db.close()
+    with pytest.raises(RuntimeError):
+        db.put("a", "1")
+    with pytest.raises(RuntimeError):
+        db.get("a")
+
+
+def test_close_idempotent(tmp_path):
+    db = KVStore(tmp_path)
+    db.close()
+    db.close()
+
+
+@settings(max_examples=25, suppress_health_check=[HealthCheck.function_scoped_fixture])
+@given(
+    ops=st.lists(
+        st.tuples(
+            st.sampled_from(["put", "delete"]),
+            st.text(
+                alphabet=st.characters(min_codepoint=33, max_codepoint=126),
+                min_size=1,
+                max_size=8,
+            ),
+            st.text(max_size=16),
+        ),
+        max_size=60,
+    )
+)
+def test_property_matches_dict_model(tmp_path, ops):
+    """The store behaves like a dict, across flushes and a restart."""
+    import shutil
+
+    directory = tmp_path / "db"
+    if directory.exists():
+        shutil.rmtree(directory)
+    model = {}
+    db = KVStore(directory, small_config(flush_threshold_bytes=128))
+    for i, (op, key, value) in enumerate(ops):
+        if op == "put":
+            db.put(key, value)
+            model[key] = value
+        else:
+            db.delete(key)
+            model.pop(key, None)
+        if i % 17 == 5:
+            db.flush()
+    for key, value in model.items():
+        assert db.get(key) == value
+    assert dict(db.scan()) == model
+    db.close()
+    reopened = KVStore(directory, small_config())
+    assert dict(reopened.scan()) == model
+    reopened.close()

@@ -1,0 +1,74 @@
+"""Unit tests for the memtable."""
+
+from repro.kvstore.memtable import TOMBSTONE, MemTable
+
+
+def test_put_get():
+    mt = MemTable()
+    mt.put("a", "1")
+    assert mt.get("a") == (True, "1")
+
+
+def test_get_absent():
+    mt = MemTable()
+    assert mt.get("nope") == (False, None)
+
+
+def test_overwrite():
+    mt = MemTable()
+    mt.put("a", "1")
+    mt.put("a", "2")
+    assert mt.get("a") == (True, "2")
+    assert len(mt) == 1
+
+
+def test_delete_creates_visible_tombstone():
+    mt = MemTable()
+    mt.put("a", "1")
+    mt.delete("a")
+    assert mt.get("a") == (True, None)  # found, but deleted
+
+
+def test_delete_unknown_key_still_tombstones():
+    """Deleting a key only present in an SSTable must still shadow it."""
+    mt = MemTable()
+    mt.delete("ghost")
+    assert mt.get("ghost") == (True, None)
+    assert len(mt) == 1
+
+
+def test_items_sorted_with_tombstones():
+    mt = MemTable()
+    mt.put("b", "2")
+    mt.put("a", "1")
+    mt.delete("c")
+    items = list(mt.items())
+    assert [k for k, _ in items] == ["a", "b", "c"]
+    assert items[2][1] is TOMBSTONE
+
+
+def test_live_items_excludes_tombstones():
+    mt = MemTable()
+    mt.put("a", "1")
+    mt.delete("b")
+    assert mt.live_items() == [("a", "1")]
+
+
+def test_approximate_bytes_tracks_changes():
+    mt = MemTable()
+    assert mt.approximate_bytes == 0
+    mt.put("key", "value")
+    first = mt.approximate_bytes
+    assert first >= len("key") + len("value")
+    mt.put("key", "longer-value")
+    assert mt.approximate_bytes > first
+    mt.delete("key")
+    assert mt.approximate_bytes < first
+
+
+def test_bool_and_len():
+    mt = MemTable()
+    assert not mt
+    mt.put("a", "1")
+    assert mt
+    assert len(mt) == 1

@@ -1,0 +1,87 @@
+"""Unit tests for SSTables."""
+
+import pytest
+
+from repro.kvstore.sstable import SSTable, merge_tables, write_sstable
+
+
+def test_write_and_point_lookup(tmp_path):
+    table = write_sstable(
+        tmp_path / "t.sst", [("a", "1"), ("b", "2"), ("c", None)]
+    )
+    assert table.get("a") == (True, "1")
+    assert table.get("b") == (True, "2")
+    assert table.get("c") == (True, None)  # tombstone is found-but-deleted
+    assert table.get("zz") == (False, None)
+    assert table.get("0") == (False, None)  # before first key
+
+
+def test_items_in_order(tmp_path):
+    entries = [(f"k{i:03d}", str(i)) for i in range(50)]
+    table = write_sstable(tmp_path / "t.sst", entries)
+    assert list(table.items()) == entries
+    assert len(table) == 50
+
+
+def test_sparse_index_lookup_across_blocks(tmp_path):
+    entries = [(f"k{i:04d}", str(i * i)) for i in range(200)]
+    table = write_sstable(tmp_path / "t.sst", entries, index_interval=16)
+    # probe keys in every block, plus misses between keys
+    for i in (0, 15, 16, 17, 100, 199):
+        assert table.get(f"k{i:04d}") == (True, str(i * i))
+    assert table.get("k0100x") == (False, None)
+
+
+def test_reopen_from_disk(tmp_path):
+    write_sstable(tmp_path / "t.sst", [("a", "1")])
+    reopened = SSTable(tmp_path / "t.sst")
+    assert reopened.get("a") == (True, "1")
+
+
+def test_unsorted_entries_rejected(tmp_path):
+    with pytest.raises(ValueError):
+        write_sstable(tmp_path / "t.sst", [("b", "2"), ("a", "1")])
+
+
+def test_duplicate_keys_rejected(tmp_path):
+    with pytest.raises(ValueError):
+        write_sstable(tmp_path / "t.sst", [("a", "1"), ("a", "2")])
+
+
+def test_empty_table(tmp_path):
+    table = write_sstable(tmp_path / "t.sst", [])
+    assert table.get("a") == (False, None)
+    assert list(table.items()) == []
+
+
+def test_truncated_file_rejected(tmp_path):
+    path = tmp_path / "t.sst"
+    write_sstable(path, [("a", "1")])
+    path.write_bytes(path.read_bytes()[:5])
+    with pytest.raises(ValueError):
+        SSTable(path)
+
+
+def test_corrupt_footer_rejected(tmp_path):
+    path = tmp_path / "t.sst"
+    write_sstable(path, [("a", "1")])
+    data = path.read_bytes()
+    path.write_bytes(data[:-17] + b"zzzzzzzzzzzzzzzz\n")
+    with pytest.raises(ValueError):
+        SSTable(path)
+
+
+class TestMerge:
+    def test_newest_value_wins(self, tmp_path):
+        old = write_sstable(tmp_path / "old.sst", [("a", "old"), ("b", "keep")])
+        new = write_sstable(tmp_path / "new.sst", [("a", "new")])
+        merged = merge_tables([new, old], drop_tombstones=False)
+        assert merged == [("a", "new"), ("b", "keep")]
+
+    def test_tombstone_shadows_then_drops(self, tmp_path):
+        old = write_sstable(tmp_path / "old.sst", [("a", "1"), ("b", "2")])
+        new = write_sstable(tmp_path / "new.sst", [("a", None)])
+        shadowing = merge_tables([new, old], drop_tombstones=False)
+        assert shadowing == [("a", None), ("b", "2")]
+        compacted = merge_tables([new, old], drop_tombstones=True)
+        assert compacted == [("b", "2")]

@@ -1,0 +1,96 @@
+"""Unit tests for the write-ahead log."""
+
+from repro.kvstore.wal import WriteAheadLog, replay
+
+
+def test_append_and_replay(tmp_path):
+    path = tmp_path / "wal.log"
+    with WriteAheadLog(path) as wal:
+        wal.append_put("a", "1")
+        wal.append_put("b", "2")
+        wal.append_delete("a")
+    records, corrupt = replay(path)
+    assert corrupt == 0
+    assert [(r.kind, r.key, r.value) for r in records] == [
+        ("put", "a", "1"),
+        ("put", "b", "2"),
+        ("del", "a", None),
+    ]
+
+
+def test_replay_missing_file(tmp_path):
+    records, corrupt = replay(tmp_path / "nope.log")
+    assert records == []
+    assert corrupt == 0
+
+
+def test_truncate_discards_records(tmp_path):
+    path = tmp_path / "wal.log"
+    wal = WriteAheadLog(path)
+    wal.append_put("a", "1")
+    wal.truncate()
+    wal.append_put("b", "2")
+    wal.close()
+    records, _ = replay(path)
+    assert [r.key for r in records] == ["b"]
+
+
+def test_torn_write_recovers_prefix(tmp_path):
+    path = tmp_path / "wal.log"
+    with WriteAheadLog(path) as wal:
+        wal.append_put("a", "1")
+        wal.append_put("b", "2")
+    # simulate a torn final record
+    data = path.read_bytes()
+    path.write_bytes(data[: len(data) - 5])
+    records, corrupt = replay(path)
+    assert [r.key for r in records] == ["a"]
+    assert corrupt == 1
+
+
+def test_corrupt_record_stops_replay(tmp_path):
+    path = tmp_path / "wal.log"
+    with WriteAheadLog(path) as wal:
+        wal.append_put("a", "1")
+        wal.append_put("b", "2")
+        wal.append_put("c", "3")
+    lines = path.read_bytes().split(b"\n")
+    lines[1] = b"00000000 {garbage}"
+    path.write_bytes(b"\n".join(lines))
+    records, corrupt = replay(path)
+    assert [r.key for r in records] == ["a"]
+    assert corrupt == 2
+
+
+def test_unicode_keys_and_values(tmp_path):
+    path = tmp_path / "wal.log"
+    with WriteAheadLog(path) as wal:
+        wal.append_put("clé", "välue/与")
+    records, _ = replay(path)
+    assert records[0].key == "clé"
+    assert records[0].value == "välue/与"
+
+
+def test_append_counter(tmp_path):
+    wal = WriteAheadLog(tmp_path / "wal.log")
+    wal.append_put("a", "1")
+    wal.append_delete("a")
+    assert wal.records_appended == 2
+    wal.close()
+
+
+def test_reopen_appends(tmp_path):
+    path = tmp_path / "wal.log"
+    with WriteAheadLog(path) as wal:
+        wal.append_put("a", "1")
+    with WriteAheadLog(path) as wal:
+        wal.append_put("b", "2")
+    records, _ = replay(path)
+    assert [r.key for r in records] == ["a", "b"]
+
+
+def test_sync_mode(tmp_path):
+    with WriteAheadLog(tmp_path / "wal.log", sync=True) as wal:
+        wal.append_put("a", "1")
+    records, _ = replay(tmp_path / "wal.log")
+    assert len(records) == 1

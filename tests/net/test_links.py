@@ -1,0 +1,42 @@
+"""Direct unit tests for link objects."""
+
+import pytest
+
+from repro.net import Link, LinkDirection
+
+
+def test_link_attributes():
+    link = Link("a->b", "a", "b", 1e9, LinkDirection.UP)
+    assert link.src == "a"
+    assert link.dst == "b"
+    assert link.capacity_bps == 1e9
+    assert link.direction is LinkDirection.UP
+    assert link.flow_count == 0
+    assert link.bytes_sent == 0.0
+
+
+def test_invalid_capacity_rejected():
+    with pytest.raises(ValueError):
+        Link("a->b", "a", "b", 0)
+    with pytest.raises(ValueError):
+        Link("a->b", "a", "b", -1e9)
+
+
+def test_record_bytes_accumulates():
+    link = Link("a->b", "a", "b", 1e9)
+    link.record_bytes(100.0)
+    link.record_bytes(50.5)
+    assert link.bytes_sent == pytest.approx(150.5)
+
+
+def test_flow_registry():
+    link = Link("a->b", "a", "b", 1e9)
+    link.flows.add("f1")
+    link.flows.add("f2")
+    assert link.flow_count == 2
+    link.flows.discard("f1")
+    assert link.flow_count == 1
+
+
+def test_direction_default_is_flat():
+    assert Link("a->b", "a", "b", 1e9).direction is LinkDirection.FLAT

@@ -1,0 +1,95 @@
+"""Unit tests for switch stats views."""
+
+import pytest
+
+from repro.net import FlowNetwork, RoutingTable, Tier, three_tier
+from repro.net.switch import build_switches
+from repro.sim import EventLoop
+
+GB = 8e9
+
+
+@pytest.fixture()
+def env():
+    topo = three_tier()
+    loop = EventLoop()
+    net = FlowNetwork(loop, topo)
+    table = RoutingTable(topo)
+    switches = build_switches(net)
+    return loop, net, table, switches
+
+
+def test_every_switch_materialized(env):
+    _, net, _, switches = env
+    assert len(switches) == len(net.topology.switches)
+    assert switches["core0"].tier == Tier.CORE
+    assert switches["pod0-agg0"].tier == Tier.AGGREGATION
+    assert switches["pod0-rack0"].tier == Tier.EDGE
+
+
+def test_attached_hosts_only_for_edge(env):
+    _, _, _, switches = env
+    assert switches["pod0-rack0"].attached_hosts() == [
+        "pod0-rack0-h0",
+        "pod0-rack0-h1",
+        "pod0-rack0-h2",
+        "pod0-rack0-h3",
+    ]
+    assert switches["core0"].attached_hosts() == []
+    assert switches["pod0-agg0"].attached_hosts() == []
+
+
+def test_port_stats_reflect_transfers(env):
+    loop, net, table, switches = env
+    path = table.paths("pod0-rack0-h0", "pod0-rack0-h1")[0]
+    net.start_flow("f", path, GB)
+    loop.run(until=4.0)
+    stats = {s.link_id: s for s in switches["pod0-rack0"].port_stats()}
+    # rack -> h1 carried 4 s at 1 Gbps = 5e8 bytes
+    assert stats["pod0-rack0->pod0-rack0-h1"].bytes_sent == pytest.approx(5e8)
+    assert stats["pod0-rack0->pod0-rack0-h2"].bytes_sent == 0.0
+    assert stats["pod0-rack0->pod0-rack0-h1"].capacity_bps == 1e9
+
+
+def test_port_stats_are_cumulative(env):
+    loop, net, table, switches = env
+    path = table.paths("pod0-rack0-h0", "pod0-rack0-h1")[0]
+    net.start_flow("f", path, GB)
+    loop.run(until=2.0)
+    first = {s.link_id: s.bytes_sent for s in switches["pod0-rack0"].port_stats()}
+    loop.run(until=6.0)
+    second = {s.link_id: s.bytes_sent for s in switches["pod0-rack0"].port_stats()}
+    link = "pod0-rack0->pod0-rack0-h1"
+    assert second[link] > first[link]
+    assert second[link] == pytest.approx(7.5e8)
+
+
+def test_flow_stats_only_for_locally_originated_flows(env):
+    """Per §4: a switch reports flows whose source host hangs off it."""
+    loop, net, table, switches = env
+    # flow A originates in rack0, flow B in rack1; both terminate elsewhere
+    net.start_flow("a", table.paths("pod0-rack0-h0", "pod0-rack1-h0")[0], GB)
+    net.start_flow("b", table.paths("pod0-rack1-h1", "pod0-rack0-h2")[0], GB)
+    rack0_flows = [s.flow_id for s in switches["pod0-rack0"].flow_stats()]
+    rack1_flows = [s.flow_id for s in switches["pod0-rack1"].flow_stats()]
+    assert rack0_flows == ["a"]
+    assert rack1_flows == ["b"]
+
+
+def test_flow_stats_expose_remaining_size(env):
+    loop, net, table, switches = env
+    net.start_flow("a", table.paths("pod0-rack0-h0", "pod0-rack0-h1")[0], GB)
+    loop.run(until=2.0)
+    (stat,) = switches["pod0-rack0"].flow_stats()
+    assert stat.src == "pod0-rack0-h0"
+    assert stat.dst == "pod0-rack0-h1"
+    assert stat.bytes_sent == pytest.approx(2.5e8)
+    assert stat.remaining_bits == pytest.approx(GB - 2e9)
+    assert stat.size_bits == GB
+
+
+def test_completed_flows_disappear_from_stats(env):
+    loop, net, table, switches = env
+    net.start_flow("a", table.paths("pod0-rack0-h0", "pod0-rack0-h1")[0], GB)
+    loop.run()
+    assert switches["pod0-rack0"].flow_stats() == []

@@ -1,0 +1,264 @@
+"""Unit tests for the RPC fabric."""
+
+import pytest
+
+from repro.rpc import HostDownError, RpcFabric, ServiceNotFoundError
+from repro.rpc.errors import RemoteInvocationError
+from repro.sim import Delay, EventLoop, Process
+
+
+class Echo:
+    def echo(self, value):
+        return value
+
+    def fail(self):
+        raise RuntimeError("kaput")
+
+    def slow_double(self, x):
+        yield Delay(1.0)
+        return 2 * x
+
+    def _private(self):
+        return "secret"
+
+
+@pytest.fixture()
+def env():
+    loop = EventLoop()
+    fabric = RpcFabric(loop, latency=0.001)
+    fabric.register("server", "echo", Echo())
+    return loop, fabric
+
+
+def run_client(loop, gen):
+    proc = Process(loop, gen)
+    loop.run()
+    if proc.exception:
+        raise proc.exception
+    return proc.result
+
+
+def test_plain_method_round_trip(env):
+    loop, fabric = env
+
+    def client():
+        result = yield from fabric.invoke("c", "server", "echo", "echo", "hi")
+        return result, loop.now
+
+    value, t = run_client(loop, client())
+    assert value == "hi"
+    assert t == pytest.approx(0.002)  # two one-way latencies
+
+
+def test_generator_handler_suspends(env):
+    loop, fabric = env
+
+    def client():
+        result = yield from fabric.invoke("c", "server", "echo", "slow_double", 21)
+        return result, loop.now
+
+    value, t = run_client(loop, client())
+    assert value == 42
+    assert t == pytest.approx(1.002)
+
+
+def test_remote_exception_raises_at_caller(env):
+    loop, fabric = env
+
+    def client():
+        yield from fabric.invoke("c", "server", "echo", "fail")
+
+    with pytest.raises(RemoteInvocationError, match="kaput"):
+        run_client(loop, client())
+
+
+def test_unknown_service(env):
+    loop, fabric = env
+
+    def client():
+        yield from fabric.invoke("c", "server", "nope", "echo")
+
+    with pytest.raises(ServiceNotFoundError):
+        run_client(loop, client())
+
+
+def test_unknown_endpoint(env):
+    loop, fabric = env
+
+    def client():
+        yield from fabric.invoke("c", "ghost", "echo", "echo", 1)
+
+    with pytest.raises(ServiceNotFoundError):
+        run_client(loop, client())
+
+
+def test_unknown_method(env):
+    loop, fabric = env
+
+    def client():
+        yield from fabric.invoke("c", "server", "echo", "missing")
+
+    with pytest.raises(ServiceNotFoundError):
+        run_client(loop, client())
+
+
+def test_private_method_not_callable(env):
+    loop, fabric = env
+
+    def client():
+        yield from fabric.invoke("c", "server", "echo", "_private")
+
+    with pytest.raises(ServiceNotFoundError):
+        run_client(loop, client())
+
+
+def test_host_down(env):
+    loop, fabric = env
+    fabric.set_down("server")
+
+    def client():
+        yield from fabric.invoke("c", "server", "echo", "echo", 1)
+
+    with pytest.raises(HostDownError):
+        run_client(loop, client())
+    assert fabric.calls_failed == 1
+
+
+def test_host_recovery(env):
+    loop, fabric = env
+    fabric.set_down("server")
+    fabric.set_down("server", down=False)
+
+    def client():
+        return (yield from fabric.invoke("c", "server", "echo", "echo", 1))
+
+    assert run_client(loop, client()) == 1
+
+
+def test_caller_down_also_fails(env):
+    loop, fabric = env
+    fabric.set_down("c")
+
+    def client():
+        yield from fabric.invoke("c", "server", "echo", "echo", 1)
+
+    with pytest.raises(HostDownError):
+        run_client(loop, client())
+
+
+def test_duplicate_registration_rejected(env):
+    _, fabric = env
+    with pytest.raises(ValueError):
+        fabric.register("server", "echo", Echo())
+
+
+def test_unregister(env):
+    loop, fabric = env
+    fabric.unregister("server", "echo")
+
+    def client():
+        yield from fabric.invoke("c", "server", "echo", "echo", 1)
+
+    with pytest.raises(ServiceNotFoundError):
+        run_client(loop, client())
+
+
+def test_nested_rpc_from_handler():
+    """A handler that itself issues an RPC (primary relaying an append)."""
+    loop = EventLoop()
+    fabric = RpcFabric(loop, latency=0.001)
+
+    class Secondary:
+        def __init__(self):
+            self.stored = []
+
+        def store(self, value):
+            self.stored.append(value)
+            return "ok"
+
+    class Primary:
+        def append(self, value):
+            ack = yield from fabric.invoke("p", "s", "secondary", "store", value)
+            return f"primary-{ack}"
+
+    secondary = Secondary()
+    fabric.register("s", "secondary", secondary)
+    fabric.register("p", "primary", Primary())
+
+    def client():
+        return (yield from fabric.invoke("c", "p", "primary", "append", "data"))
+
+    result = run_client(loop, client())
+    assert result == "primary-ok"
+    assert secondary.stored == ["data"]
+
+
+def test_concurrent_calls_independent(env):
+    loop, fabric = env
+    results = []
+
+    def client(i):
+        value = yield from fabric.invoke("c", "server", "echo", "slow_double", i)
+        results.append(value)
+
+    for i in range(5):
+        Process(loop, client(i))
+    loop.run()
+    assert sorted(results) == [0, 2, 4, 6, 8]
+
+
+def test_call_counters(env):
+    loop, fabric = env
+
+    def client():
+        yield from fabric.invoke("c", "server", "echo", "echo", 1)
+
+    run_client(loop, client())
+    assert fabric.calls_sent == 1
+    assert fabric.calls_failed == 0
+
+
+def test_negative_latency_rejected():
+    with pytest.raises(ValueError):
+        RpcFabric(EventLoop(), latency=-1)
+
+
+def test_jitter_spreads_latencies_deterministically():
+    def round_trip_times(seed):
+        loop = EventLoop()
+        fabric = RpcFabric(loop, latency=0.001, jitter=0.002, seed=seed)
+        fabric.register("server", "echo", Echo())
+        times = []
+
+        def client(i):
+            start = loop.now
+            yield from fabric.invoke("c", "server", "echo", "echo", i)
+            times.append(loop.now - start)
+
+        for i in range(10):
+            Process(loop, client(i))
+        loop.run()
+        return times
+
+    first = round_trip_times(seed=7)
+    # jitter adds (0, 2ms] per direction on top of 2x1ms base
+    assert all(0.002 < t <= 0.006 + 1e-9 for t in first)
+    assert len(set(first)) > 1  # genuinely spread
+    assert round_trip_times(seed=7) == first  # reproducible
+    assert round_trip_times(seed=8) != first
+
+
+def test_invalid_jitter_rejected():
+    with pytest.raises(ValueError):
+        RpcFabric(EventLoop(), jitter=-0.1)
+
+
+def test_virtual_endpoint():
+    loop = EventLoop()
+    fabric = RpcFabric(loop)
+    fabric.register("@controller", "flowserver", Echo())
+
+    def client():
+        return (yield from fabric.invoke("host", "@controller", "flowserver", "echo", "x"))
+
+    assert run_client(loop, client()) == "x"

@@ -1,0 +1,148 @@
+"""Unit tests for the SDN controller."""
+
+import pytest
+
+from repro.net import FlowNetwork, RoutingTable, three_tier
+from repro.sdn import Controller
+from repro.sim import EventLoop
+
+GB = 8e9
+
+
+@pytest.fixture()
+def env():
+    topo = three_tier()
+    loop = EventLoop()
+    net = FlowNetwork(loop, topo)
+    table = RoutingTable(topo)
+    controller = Controller(net)
+    return loop, net, table, controller
+
+
+def test_install_path_programs_switches_along_route(env):
+    loop, net, table, ctl = env
+    path = table.paths("pod0-rack0-h0", "pod1-rack0-h0")[0]
+    ctl.install_path("f", path, GB)
+    # the path traverses rack0 -> agg -> core -> agg -> rack; every switch
+    # hop must have an entry, hosts have none
+    switch_hops = [
+        net.topology.links[lid].src
+        for lid in path.link_ids
+        if net.topology.links[lid].src in net.topology.switches
+    ]
+    assert len(switch_hops) == 5
+    for switch_id, link_id in zip(switch_hops, path.link_ids[1:]):
+        assert ctl.flow_table(switch_id).lookup("f") == link_id
+    assert ctl.verify_tables_consistent() == []
+
+
+def test_double_install_rejected(env):
+    _, _, table, ctl = env
+    path = table.paths("pod0-rack0-h0", "pod0-rack0-h1")[0]
+    ctl.install_path("f", path, GB)
+    with pytest.raises(ValueError):
+        ctl.install_path("f", path, GB)
+
+
+def test_uninstall_clears_entries(env):
+    _, _, table, ctl = env
+    path = table.paths("pod0-rack0-h0", "pod1-rack0-h0")[0]
+    ctl.install_path("f", path, GB)
+    ctl.uninstall_path("f")
+    assert "f" not in ctl.installed_flows()
+    for switch_id in ctl.edge_switch_ids():
+        assert "f" not in ctl.flow_table(switch_id)
+    assert ctl.verify_tables_consistent() == []
+
+
+def test_uninstall_unknown_flow_is_noop(env):
+    _, _, _, ctl = env
+    ctl.uninstall_path("ghost")
+
+
+def test_start_transfer_runs_and_cleans_up(env):
+    loop, net, table, ctl = env
+    path = table.paths("pod0-rack0-h0", "pod0-rack0-h1")[0]
+    done = []
+    ctl.start_transfer("f", path, GB, on_complete=lambda f: done.append(loop.now))
+    assert "f" in ctl.installed_flows()
+    loop.run()
+    assert done == [pytest.approx(8.0)]
+    assert "f" not in ctl.installed_flows()
+    assert ctl.verify_tables_consistent() == []
+
+
+def test_flow_removed_notification(env):
+    loop, net, table, ctl = env
+    path = table.paths("pod0-rack0-h0", "pod0-rack0-h1")[0]
+    removed = []
+    ctl.add_flow_removed_listener(removed.append)
+    ctl.start_transfer("f", path, GB)
+    loop.run()
+    assert len(removed) == 1
+    assert removed[0].flow_id == "f"
+    assert removed[0].src == "pod0-rack0-h0"
+    assert removed[0].bytes_sent == pytest.approx(GB / 8)
+    assert removed[0].duration == pytest.approx(8.0)
+
+
+def test_flow_removed_fires_before_on_complete(env):
+    loop, net, table, ctl = env
+    path = table.paths("pod0-rack0-h0", "pod0-rack0-h1")[0]
+    order = []
+    ctl.add_flow_removed_listener(lambda msg: order.append("removed"))
+    ctl.start_transfer("f", path, GB, on_complete=lambda f: order.append("complete"))
+    loop.run()
+    assert order == ["removed", "complete"]
+
+
+def test_abort_transfer(env):
+    loop, net, table, ctl = env
+    path = table.paths("pod0-rack0-h0", "pod0-rack0-h1")[0]
+    done = []
+    ctl.start_transfer("f", path, GB, on_complete=lambda f: done.append(True))
+    loop.run(until=1.0)
+    ctl.abort_transfer("f")
+    loop.run()
+    assert done == []
+    assert "f" not in ctl.installed_flows()
+    assert not net.active_flows
+
+
+def test_duplicate_transfer_leaves_no_stale_rules(env):
+    loop, net, table, ctl = env
+    path = table.paths("pod0-rack0-h0", "pod0-rack0-h1")[0]
+    ctl.start_transfer("f", path, GB)
+    ctl.uninstall_path("f")  # simulate out-of-band rule loss
+    with pytest.raises(ValueError):
+        # network still has the flow, so restart must fail and not leave rules
+        ctl.start_transfer("f", path, GB)
+    assert "f" not in ctl.installed_flows()
+
+
+def test_query_port_stats(env):
+    loop, net, table, ctl = env
+    path = table.paths("pod0-rack0-h0", "pod0-rack0-h1")[0]
+    ctl.start_transfer("f", path, GB)
+    loop.run(until=4.0)
+    reply = ctl.query_port_stats("pod0-rack0")
+    assert reply.timestamp == 4.0
+    by_link = {p.link_id: p.bytes_sent for p in reply.ports}
+    assert by_link["pod0-rack0->pod0-rack0-h1"] == pytest.approx(5e8)
+
+
+def test_query_flow_stats(env):
+    loop, net, table, ctl = env
+    path = table.paths("pod0-rack0-h0", "pod0-rack0-h1")[0]
+    ctl.start_transfer("f", path, GB)
+    loop.run(until=4.0)
+    reply = ctl.query_flow_stats("pod0-rack0")
+    assert [f.flow_id for f in reply.flows] == ["f"]
+    assert ctl.query_flow_stats("pod1-rack0").flows == ()
+
+
+def test_edge_switch_ids(env):
+    _, _, _, ctl = env
+    ids = ctl.edge_switch_ids()
+    assert len(ids) == 16
+    assert all("rack" in sid for sid in ids)

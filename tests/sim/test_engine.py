@@ -1,0 +1,213 @@
+"""Unit tests for the discrete-event loop."""
+
+import pytest
+
+from repro.sim import EventLoop, PeriodicTimer, SimulationError
+
+
+def test_clock_starts_at_zero():
+    loop = EventLoop()
+    assert loop.now == 0.0
+
+
+def test_clock_custom_start():
+    loop = EventLoop(start_time=100.0)
+    assert loop.now == 100.0
+
+
+def test_events_fire_in_time_order():
+    loop = EventLoop()
+    fired = []
+    loop.call_at(3.0, fired.append, "c")
+    loop.call_at(1.0, fired.append, "a")
+    loop.call_at(2.0, fired.append, "b")
+    loop.run()
+    assert fired == ["a", "b", "c"]
+
+
+def test_ties_fire_in_scheduling_order():
+    loop = EventLoop()
+    fired = []
+    for label in "abcde":
+        loop.call_at(5.0, fired.append, label)
+    loop.run()
+    assert fired == list("abcde")
+
+
+def test_call_in_is_relative_to_now():
+    loop = EventLoop()
+    times = []
+    loop.call_in(1.0, lambda: (times.append(loop.now), loop.call_in(2.0, lambda: times.append(loop.now))))
+    loop.run()
+    assert times == [1.0, 3.0]
+
+
+def test_clock_advances_to_event_time():
+    loop = EventLoop()
+    observed = []
+    loop.call_at(7.25, lambda: observed.append(loop.now))
+    loop.run()
+    assert observed == [7.25]
+    assert loop.now == 7.25
+
+
+def test_scheduling_in_past_raises():
+    loop = EventLoop(start_time=10.0)
+    with pytest.raises(SimulationError):
+        loop.call_at(9.0, lambda: None)
+
+
+def test_negative_delay_raises():
+    loop = EventLoop()
+    with pytest.raises(SimulationError):
+        loop.call_in(-1.0, lambda: None)
+
+
+def test_non_finite_time_raises():
+    loop = EventLoop()
+    with pytest.raises(SimulationError):
+        loop.call_at(float("inf"), lambda: None)
+    with pytest.raises(SimulationError):
+        loop.call_at(float("nan"), lambda: None)
+
+
+def test_cancelled_event_does_not_fire():
+    loop = EventLoop()
+    fired = []
+    handle = loop.call_at(1.0, fired.append, "x")
+    handle.cancel()
+    loop.run()
+    assert fired == []
+    assert handle.cancelled
+
+
+def test_cancel_is_idempotent():
+    loop = EventLoop()
+    handle = loop.call_at(1.0, lambda: None)
+    handle.cancel()
+    handle.cancel()
+    loop.run()
+
+
+def test_run_until_stops_before_later_events():
+    loop = EventLoop()
+    fired = []
+    loop.call_at(1.0, fired.append, "early")
+    loop.call_at(5.0, fired.append, "late")
+    loop.run(until=2.0)
+    assert fired == ["early"]
+    assert loop.now == 2.0
+    loop.run()
+    assert fired == ["early", "late"]
+
+
+def test_run_until_fires_events_exactly_at_horizon():
+    loop = EventLoop()
+    fired = []
+    loop.call_at(2.0, fired.append, "at")
+    loop.run(until=2.0)
+    assert fired == ["at"]
+
+
+def test_max_events_guard_raises():
+    loop = EventLoop()
+
+    def reschedule():
+        loop.call_in(0.0, reschedule)
+
+    loop.call_in(0.0, reschedule)
+    with pytest.raises(SimulationError):
+        loop.run(max_events=100)
+
+
+def test_events_processed_counter():
+    loop = EventLoop()
+    for _ in range(5):
+        loop.call_in(1.0, lambda: None)
+    loop.run()
+    assert loop.events_processed == 5
+
+
+def test_pending_events_excludes_cancelled():
+    loop = EventLoop()
+    loop.call_in(1.0, lambda: None)
+    handle = loop.call_in(2.0, lambda: None)
+    handle.cancel()
+    assert loop.pending_events == 1
+
+
+def test_step_returns_false_when_idle():
+    loop = EventLoop()
+    assert loop.step() is False
+
+
+def test_nested_scheduling_during_event():
+    loop = EventLoop()
+    order = []
+
+    def outer():
+        order.append(("outer", loop.now))
+        loop.call_in(0.5, inner)
+
+    def inner():
+        order.append(("inner", loop.now))
+
+    loop.call_at(1.0, outer)
+    loop.run()
+    assert order == [("outer", 1.0), ("inner", 1.5)]
+
+
+def test_loop_not_reentrant():
+    loop = EventLoop()
+
+    def nested_run():
+        with pytest.raises(SimulationError):
+            loop.run()
+
+    loop.call_in(0.0, nested_run)
+    loop.run()
+
+
+class TestPeriodicTimer:
+    def test_fires_at_interval(self):
+        loop = EventLoop()
+        times = []
+        timer = PeriodicTimer(loop, 2.0, lambda: times.append(loop.now))
+        loop.run(until=7.0)
+        timer.stop()
+        assert times == [2.0, 4.0, 6.0]
+
+    def test_first_delay_override(self):
+        loop = EventLoop()
+        times = []
+        PeriodicTimer(loop, 2.0, lambda: times.append(loop.now), first_delay=0.5)
+        loop.run(until=5.0)
+        assert times == [0.5, 2.5, 4.5]
+
+    def test_stop_prevents_future_firings(self):
+        loop = EventLoop()
+        times = []
+        timer = PeriodicTimer(loop, 1.0, lambda: times.append(loop.now))
+        loop.call_at(2.5, timer.stop)
+        loop.run(until=10.0)
+        assert times == [1.0, 2.0]
+        assert timer.stopped
+
+    def test_stop_from_inside_callback(self):
+        loop = EventLoop()
+        times = []
+        timer = None
+
+        def cb():
+            times.append(loop.now)
+            if len(times) == 3:
+                timer.stop()
+
+        timer = PeriodicTimer(loop, 1.0, cb)
+        loop.run(until=10.0)
+        assert times == [1.0, 2.0, 3.0]
+
+    def test_zero_interval_rejected(self):
+        loop = EventLoop()
+        with pytest.raises(SimulationError):
+            PeriodicTimer(loop, 0.0, lambda: None)
