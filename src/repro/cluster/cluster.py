@@ -21,6 +21,7 @@ from repro.cluster.planners import FlowserverReadPlanner, SelectorReadPlanner
 from repro.core.flowserver import Flowserver, FlowserverConfig
 from repro.fs.client import MayflowerClient, ReadPlanner
 from repro.fs.consistency import ConsistencyMode
+from repro.fs.retry import RetryPolicy
 from repro.fs.dataserver import Dataserver
 from repro.fs.nameserver import Nameserver
 from repro.fs.placement import HdfsRackAwarePlacement, PaperEvalPlacement
@@ -64,6 +65,11 @@ class ClusterConfig:
     #: 1 = the paper's centralized nameserver; >= 3 = Paxos-replicated
     #: nameserver on the first N hosts (§3.3.1's suggested improvement).
     nameserver_replicas: int = 1
+    #: Client retry policy (backoff + deadlines + read resumption).
+    #: ``None`` keeps the historical immediate-failover behaviour and the
+    #: historical event timeline, bit-for-bit.  Set for fault-injection
+    #: experiments, where reads must ride out transient outages.
+    retry: Optional[RetryPolicy] = None
     #: Heartbeat-driven failure detection + automatic re-replication
     #: (GFS/HDFS availability semantics; off by default so performance
     #: experiments carry no periodic-timer noise).
@@ -84,6 +90,7 @@ class Cluster:
                 f"expected one of {_CLUSTER_SCHEMES}"
             )
         streams = RandomStreams(self.config.seed)
+        self._streams = streams
 
         # --- network + SDN control plane -------------------------------
         self.topology: Topology = three_tier(
@@ -239,6 +246,12 @@ class Cluster:
         """A filesystem client on ``host_id`` using the cluster's scheme."""
         if host_id not in self.topology.hosts:
             raise ValueError(f"{host_id!r} is not a host")
+        retry_rng = None
+        if self.config.retry is not None:
+            # Per-client jitter stream: derived from the root seed, so
+            # backoff timing is reproducible, and independent per host so
+            # co-failing clients never retry in lockstep.
+            retry_rng = self._streams.stream(f"client-retry/{host_id}")
         return MayflowerClient(
             host_id=host_id,
             loop=self.loop,
@@ -246,7 +259,29 @@ class Cluster:
             nameserver_endpoint=self.nameserver_endpoints,
             planner=self._planner(),
             consistency=self.config.consistency,
+            retry=self.config.retry,
+            retry_rng=retry_rng,
         )
+
+    # ------------------------------------------------------------------
+    # Fault injection
+    # ------------------------------------------------------------------
+
+    def inject_faults(self, plan):
+        """Arm a :class:`repro.faults.FaultPlan` against this cluster.
+
+        Returns the armed :class:`repro.faults.FaultInjector` (its journal
+        records what actually fired).
+        """
+        from repro.faults.injector import FaultInjector
+
+        injector = FaultInjector.for_cluster(self)
+        injector.arm(plan)
+        return injector
+
+    def faults_rng(self):
+        """The cluster's dedicated fault-injection RNG stream."""
+        return self._streams.faults()
 
     def _planner(self) -> ReadPlanner:
         scheme = self.config.scheme

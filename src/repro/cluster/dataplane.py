@@ -18,6 +18,7 @@ from typing import Generator, Optional
 from repro.fs.dataserver import DataPlane
 from repro.net.ecmp import EcmpHasher
 from repro.net.routing import Path, RoutingTable
+from repro.net.simulator import FlowAborted
 from repro.sdn.controller import Controller
 from repro.sim.engine import EventLoop
 from repro.sim.process import Delay, Signal
@@ -66,7 +67,13 @@ class SimulatedDataPlane(DataPlane):
         seq = next(self._seq)
         if path is None:
             candidates = self._routing.paths(src, dst)
-            path = self._hasher.pick_for_flow(candidates, seq)
+            # Skip paths crossing failed links/switches; the filter keeps
+            # candidate order, so with a fully healthy network the ECMP
+            # pick is unchanged.  With zero healthy candidates we keep the
+            # full set: the transfer aborts immediately and the caller's
+            # retry logic waits out the outage.
+            healthy = [p for p in candidates if self._controller.path_is_up(p)]
+            path = self._hasher.pick_for_flow(healthy or candidates, seq)
         if flow_id is None:
             flow_id = f"dp{seq}"
 
@@ -76,8 +83,11 @@ class SimulatedDataPlane(DataPlane):
             path,
             size_bytes * 8.0,
             on_complete=lambda flow: done.fire(flow),
+            on_abort=lambda flow, exc: done.fire(exc),
             job_id=job_id,
         )
         self.transfers_started += 1
-        yield done
+        outcome = yield done
+        if isinstance(outcome, FlowAborted):
+            raise outcome
         return None

@@ -62,12 +62,20 @@ def run_cluster_workload(
     seed: int = 42,
     max_sim_seconds: float = 100000.0,
     config: Optional[ClusterConfig] = None,
+    fault_plan=None,
+    stats_out: Optional[dict] = None,
 ) -> List[float]:
     """Run a read workload against a full cluster; returns job durations.
 
     ``scheme_name`` is one of ``mayflower``, ``hdfs-mayflower``,
     ``hdfs-ecmp``.  The traffic matrix matches §6.1.1 (Poisson arrivals,
     Zipf popularity, staggered locality).
+
+    ``fault_plan`` (a :class:`repro.faults.FaultPlan`) is armed against
+    the cluster before the workload starts; job failures then surface as
+    a RuntimeError naming the failed jobs rather than silently hanging
+    the drain loop.  ``stats_out``, when given, is filled with resilience
+    telemetry (see :func:`repro.experiments.metrics.resilience_summary`).
     """
     locality = locality or LocalityDistribution(0.5, 0.3, 0.2)
     db_dir = Path(tempfile.mkdtemp(prefix="mayflower-fig8-"))
@@ -77,11 +85,14 @@ def run_cluster_workload(
     if config is not None:
         cluster_config.scheme = scheme_name
     cluster = Cluster(cluster_config)
+    injector = None
     try:
         files = bootstrap_files(
             cluster, num_files, file_size_bytes=read_bytes,
             replication=cluster_config.replication,
         )
+        if fault_plan is not None:
+            injector = cluster.inject_faults(fault_plan)
         streams = RandomStreams(seed)
         sampler = ZipfSampler(num_files, 1.1)
         popularity_rng = streams.stream("popularity")
@@ -91,6 +102,7 @@ def run_cluster_workload(
 
         clients: Dict[str, object] = {}
         durations: List[float] = []
+        failures: List[tuple] = []
 
         def get_client(host: str):
             if host not in clients:
@@ -101,7 +113,11 @@ def run_cluster_workload(
             client = get_client(host)
 
             def body():
-                result = yield from client.read(name, job_id=job_id)
+                try:
+                    result = yield from client.read(name, job_id=job_id)
+                except Exception as err:  # noqa: BLE001 - reported below
+                    failures.append((job_id, err))
+                    return
                 durations.append(result.duration)
 
             cluster.spawn(body(), name=job_id)
@@ -122,13 +138,34 @@ def run_cluster_workload(
                 now, launch, f"job{j:06d}", client_host, metadata.name
             )
 
-        while len(durations) < num_jobs and cluster.loop.peek_time() is not None:
+        def settled() -> int:
+            return len(durations) + len(failures)
+
+        while settled() < num_jobs and cluster.loop.peek_time() is not None:
             if cluster.loop.now > max_sim_seconds:
                 raise RuntimeError(
                     f"{scheme_name}: only {len(durations)}/{num_jobs} jobs "
                     f"finished within {max_sim_seconds} s — saturated"
                 )
             cluster.loop.step()
+        if stats_out is not None:
+            from repro.experiments.metrics import resilience_summary
+
+            stats_out.update(
+                resilience_summary(
+                    cluster,
+                    clients.values(),
+                    injector=injector,
+                    jobs_total=num_jobs,
+                    jobs_completed=len(durations),
+                ).as_dict()
+            )
+        if failures:
+            job_id, err = failures[0]
+            raise RuntimeError(
+                f"{scheme_name}: {len(failures)}/{num_jobs} job(s) failed; "
+                f"first: {job_id}: {type(err).__name__}: {err}"
+            ) from err
         if len(durations) < num_jobs:
             raise RuntimeError(
                 f"{scheme_name}: simulation drained with "

@@ -22,6 +22,7 @@ from repro.core.flow_state import FlowStateTable, TrackedFlow
 from repro.core.multireplica import MultiReplicaPlanner, SubflowPlan
 from repro.core.selection import PathChoice, select_replica_and_path
 from repro.core.stats import FlowStatsCollector
+from repro.net.ecmp import EcmpHasher
 from repro.net.routing import Path, RoutingTable
 from repro.sdn.controller import Controller
 from repro.sdn.openflow import FlowRemoved
@@ -88,6 +89,15 @@ class FlowserverConfig:
     #: Keep a bounded log of selection decisions (operator introspection;
     #: see :meth:`Flowserver.explain_recent`).  0 disables tracing.
     decision_log_size: int = 0
+    #: Degraded-mode trigger: a path whose source edge switch missed this
+    #: many consecutive stats polls is untrusted (its counters are
+    #: garbage) and excluded from cost-model optimization.  When *no*
+    #: candidate is trusted the Flowserver stops optimizing and spreads
+    #: flows by ECMP over the healthy paths until polling recovers.
+    #: <= 0 disables staleness-based demotion.
+    stale_poll_threshold: int = 3
+    #: Hash salt for the degraded-mode ECMP fallback.
+    degraded_ecmp_salt: int = 0x5AFE
 
 
 @dataclass(frozen=True)
@@ -132,10 +142,20 @@ class Flowserver:
         controller.add_flow_removed_listener(self._on_flow_removed)
         self._flow_seq = itertools.count()
         self._request_seq = itertools.count()
+        # Degraded-mode machinery: a separate ECMP sequence counter is
+        # drawn only when the cost model is bypassed, so fault-free runs
+        # consume nothing and stay bit-identical.
+        self._degraded_hasher = EcmpHasher(salt=self.config.degraded_ecmp_salt)
+        self._ecmp_seq = itertools.count()
+        self._degraded_since: Optional[float] = None
         # Selection telemetry (consumed by experiments/ablations).
         self.requests_served = 0
         self.local_reads = 0
         self.split_reads = 0
+        self.degraded_selections = 0
+        self.degraded_entries = 0
+        self.unreachable_path_selections = 0
+        self.recovery_times: List[float] = []
         self.decision_log: Deque[DecisionRecord] = deque(
             maxlen=self.config.decision_log_size or None
         )
@@ -186,6 +206,32 @@ class Flowserver:
         candidates = self._routing.paths_from_replicas(list(replicas), client)
         if not candidates:
             raise ValueError(f"no network path from replicas {replicas!r} to {client!r}")
+
+        # Graceful degradation (robustness co-design): drop paths crossing
+        # failed links/switches, then drop paths whose stats are stale.
+        # Order-preserving filters — with a fully healthy network both are
+        # identity transforms and the selection below is unchanged.
+        healthy = [p for p in candidates if self._controller.path_is_up(p)]
+        if not healthy:
+            # Total outage between these replicas and the client: return
+            # an ECMP pick over the full set.  The transfer aborts
+            # immediately and the client's backoff waits out the outage —
+            # the Flowserver must not block or throw on garbage state.
+            self.unreachable_path_selections += 1
+            return self._degraded_select(
+                request_id, client, replicas, candidates, size_bits
+            )
+        trusted = [p for p in healthy if self._path_trusted(p)]
+        if not trusted:
+            # Counters behind every healthy path are stale — optimizing
+            # with them would be worse than spreading load blindly, so
+            # fall back to ECMP until polling recovers (the miss counters
+            # reset and paths re-promote automatically).
+            return self._degraded_select(
+                request_id, client, replicas, healthy, size_bits
+            )
+        self._note_recovered()
+        candidates = trusted
 
         if self.config.enable_multi_replica and len({p.src for p in candidates}) > 1:
             plans = self._planner.plan(
@@ -249,6 +295,102 @@ class Flowserver:
     ) -> SelectionResult:
         """Path selection for a pre-chosen replica (baseline scheduler mode)."""
         return self.select(client, [replica], size_bits, job_id=job_id)
+
+    # ------------------------------------------------------------------
+    # Degraded mode
+    # ------------------------------------------------------------------
+
+    @property
+    def degraded(self) -> bool:
+        """Whether the last selection ran without a trusted path."""
+        return self._degraded_since is not None
+
+    def time_to_recover(self) -> float:
+        """Mean seconds spent degraded per episode (0 when never degraded)."""
+        if not self.recovery_times:
+            return 0.0
+        return sum(self.recovery_times) / len(self.recovery_times)
+
+    def _path_trusted(self, path: Path) -> bool:
+        """A path is trusted when its source edge switch (the one whose
+        flow counters feed this path's bandwidth estimates) is answering
+        stats polls."""
+        threshold = self.config.stale_poll_threshold
+        if threshold <= 0:
+            return True
+        topo = self._controller.network.topology
+        source_switch = topo.links[path.link_ids[0]].dst
+        return self.collector.consecutive_misses(source_switch) < threshold
+
+    def _note_recovered(self) -> None:
+        if self._degraded_since is not None:
+            self.recovery_times.append(self._loop.now - self._degraded_since)
+            self._degraded_since = None
+
+    def _degraded_select(
+        self,
+        request_id: str,
+        client: str,
+        replicas: Sequence[str],
+        pool: Sequence[Path],
+        size_bits: float,
+    ) -> SelectionResult:
+        """ECMP fallback: pick a path by hash, skip the cost model.
+
+        The flow is still registered (at an optimistic bottleneck-capacity
+        estimate, frozen like any SETBW) so FlowRemoved cleanup, stats
+        polling and later cost estimates keep working; no SETBW is applied
+        to existing flows because the model is not to be trusted right now.
+        """
+        self.degraded_selections += 1
+        if self._degraded_since is None:
+            self._degraded_since = self._loop.now
+            self.degraded_entries += 1
+        # The pool spans several replicas, but ECMP hashes within one
+        # (src, dst) pair — spread replicas round-robin, then hash among
+        # that replica's equal-cost paths.
+        seq = next(self._ecmp_seq)
+        sources = sorted({p.src for p in pool})
+        src = sources[seq % len(sources)]
+        same_src = [p for p in pool if p.src == src]
+        path = self._degraded_hasher.pick_for_flow(same_src, seq)
+        flow_id = self._next_flow_id()
+        est_bw = min(self._capacities[lid] for lid in path.link_ids)
+        tracked = TrackedFlow(
+            flow_id=flow_id,
+            path_link_ids=path.link_ids,
+            size_bits=size_bits,
+            remaining_bits=size_bits,
+            bw_bps=est_bw,
+            job_id=request_id,
+        )
+        self.state.add(tracked)
+        self.state.set_bw(flow_id, est_bw, self._loop.now)
+        if not self.config.enable_freeze:
+            for flow in self.state.flows.values():
+                flow.freezed = False
+        self.collector.start()
+        self._trace(
+            request_id,
+            client,
+            replicas,
+            len(pool),
+            (path.src,),
+            (est_bw,),
+            False,
+        )
+        return SelectionResult(
+            request_id=request_id,
+            assignments=(
+                Assignment(
+                    flow_id=flow_id,
+                    replica=path.src,
+                    path=path,
+                    size_bits=size_bits,
+                    est_bw_bps=est_bw,
+                ),
+            ),
+        )
 
     # ------------------------------------------------------------------
     # Introspection

@@ -15,10 +15,10 @@ flow after each request."
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, Optional, Set
 
 from repro.core.flow_state import FlowStateTable
-from repro.sdn.controller import Controller
+from repro.sdn.controller import Controller, SwitchUnreachableError
 from repro.sim.engine import EventLoop, PeriodicTimer
 
 
@@ -66,6 +66,18 @@ class FlowStatsCollector:
         self.measurements_applied = 0
         self.measurements_suppressed = 0
         self.flows_expired = 0
+        #: Fault-injection hook: while True, poll cycles run but no switch
+        #: is actually queried (models monitoring-channel loss).
+        self.suppress_polls = False
+        #: Consecutive failed/suppressed polls per switch; reset to 0 on
+        #: every successful poll.  The Flowserver reads this to decide
+        #: which paths still have trustworthy counters.  Counting polls
+        #: (not wall-clock age) keeps fault-free runs byte-identical: the
+        #: collector legitimately idles between bursts, which must not
+        #: look like staleness.
+        self.switch_missed_polls: Dict[str, int] = {}
+        self.polls_lost = 0
+        self.poll_errors = 0
         self._timer: Optional[PeriodicTimer] = None
         if auto_start:
             self.start()
@@ -78,12 +90,38 @@ class FlowStatsCollector:
         if self._timer is not None:
             self._timer.stop()
 
+    def consecutive_misses(self, switch_id: str) -> int:
+        """How many polls in a row failed to reach ``switch_id``."""
+        return self.switch_missed_polls.get(switch_id, 0)
+
     def poll_once(self) -> None:
-        """One collection cycle over every edge switch."""
+        """One collection cycle over every edge switch.
+
+        Unreachable switches (and whole cycles lost to monitoring-channel
+        faults) bump per-switch miss counters instead of raising; the
+        Flowserver uses those counters to demote the affected paths.
+        """
         now = self._loop.now
         seen = set()
+        polled_ok: Set[str] = set()
+        if self.suppress_polls:
+            self.polls_lost += 1
         for switch_id in self._controller.edge_switch_ids():
-            reply = self._controller.query_flow_stats(switch_id)
+            if self.suppress_polls:
+                self.switch_missed_polls[switch_id] = (
+                    self.switch_missed_polls.get(switch_id, 0) + 1
+                )
+                continue
+            try:
+                reply = self._controller.query_flow_stats(switch_id)
+            except SwitchUnreachableError:
+                self.poll_errors += 1
+                self.switch_missed_polls[switch_id] = (
+                    self.switch_missed_polls.get(switch_id, 0) + 1
+                )
+                continue
+            self.switch_missed_polls[switch_id] = 0
+            polled_ok.add(switch_id)
             for stat in reply.flows:
                 if stat.flow_id not in self._state:
                     # Not a tracked (Mayflower-scheduled) flow; ignore,
@@ -113,12 +151,20 @@ class FlowStatsCollector:
             if flow_id not in seen and flow_id not in self._state:
                 del self._previous[flow_id]
         # Expire tracked flows that never show up in switch stats (their
-        # transfer presumably died before starting).
+        # transfer presumably died before starting).  A flow only counts
+        # as unseen when the switch that would report it was successfully
+        # polled — a monitoring outage must not evict live flows.
         if self.expire_unseen_polls > 0:
+            topo = self._controller.network.topology
             for flow_id in list(self._state.flows):
                 if flow_id in seen:
                     self._unseen_polls.pop(flow_id, None)
                     continue
+                tracked = self._state.get(flow_id)
+                if tracked is not None and tracked.path_link_ids:
+                    source_switch = topo.links[tracked.path_link_ids[0]].dst
+                    if source_switch not in polled_ok:
+                        continue
                 misses = self._unseen_polls.get(flow_id, 0) + 1
                 if misses >= self.expire_unseen_polls:
                     self._state.remove(flow_id)

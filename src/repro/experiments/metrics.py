@@ -125,3 +125,98 @@ def normalized_to(
 ) -> Tuple[float, float, float]:
     """Mean ratio sample/baseline with a Fieller CI (the Fig. 4/5 bars)."""
     return fieller_ratio_ci(samples, baseline, confidence)
+
+
+@dataclass(frozen=True)
+class ResilienceSummary:
+    """Degraded-mode and recovery telemetry for one fault-injected run.
+
+    Aggregates the counters the resilience benchmarks assert on: how much
+    damage the storm did (aborted flows, lost polls), how the system
+    responded (degraded selections, retries, resumptions) and how fast it
+    healed (mean time-to-recover, availability).
+    """
+
+    jobs_total: int
+    jobs_completed: int
+    faults_applied: int
+    flows_aborted: int
+    flows_aborted_by_faults: int
+    degraded_selections: int
+    degraded_entries: int
+    unreachable_path_selections: int
+    mean_time_to_recover: Optional[float]
+    polls_lost: int
+    poll_errors: int
+    rpc_calls_timed_out: int
+    read_retries: int
+    read_failovers: int
+    read_resumptions: int
+    bytes_resumed: int
+
+    @property
+    def availability(self) -> float:
+        """Fraction of jobs that completed despite the storm."""
+        if self.jobs_total == 0:
+            return 1.0
+        return self.jobs_completed / self.jobs_total
+
+    def as_dict(self) -> dict:
+        return {
+            "jobs_total": self.jobs_total,
+            "jobs_completed": self.jobs_completed,
+            "availability": self.availability,
+            "faults_applied": self.faults_applied,
+            "flows_aborted": self.flows_aborted,
+            "flows_aborted_by_faults": self.flows_aborted_by_faults,
+            "degraded_selections": self.degraded_selections,
+            "degraded_entries": self.degraded_entries,
+            "unreachable_path_selections": self.unreachable_path_selections,
+            "mean_time_to_recover": self.mean_time_to_recover,
+            "polls_lost": self.polls_lost,
+            "poll_errors": self.poll_errors,
+            "rpc_calls_timed_out": self.rpc_calls_timed_out,
+            "read_retries": self.read_retries,
+            "read_failovers": self.read_failovers,
+            "read_resumptions": self.read_resumptions,
+            "bytes_resumed": self.bytes_resumed,
+        }
+
+
+def resilience_summary(
+    cluster,
+    clients,
+    injector=None,
+    jobs_total: int = 0,
+    jobs_completed: int = 0,
+) -> ResilienceSummary:
+    """Collect a :class:`ResilienceSummary` from a live cluster's parts.
+
+    ``clients`` is any iterable of :class:`repro.fs.client.MayflowerClient`
+    instances whose per-client retry counters should be aggregated.
+    """
+    clients = list(clients)
+    fs = cluster.flowserver
+    collector = fs.collector if fs is not None else None
+    return ResilienceSummary(
+        jobs_total=jobs_total,
+        jobs_completed=jobs_completed,
+        faults_applied=injector.events_applied if injector is not None else 0,
+        flows_aborted=cluster.controller.flows_aborted,
+        flows_aborted_by_faults=(
+            injector.flows_aborted_by_faults if injector is not None else 0
+        ),
+        degraded_selections=fs.degraded_selections if fs is not None else 0,
+        degraded_entries=fs.degraded_entries if fs is not None else 0,
+        unreachable_path_selections=(
+            fs.unreachable_path_selections if fs is not None else 0
+        ),
+        mean_time_to_recover=fs.time_to_recover() if fs is not None else None,
+        polls_lost=collector.polls_lost if collector is not None else 0,
+        poll_errors=collector.poll_errors if collector is not None else 0,
+        rpc_calls_timed_out=cluster.fabric.calls_timed_out,
+        read_retries=sum(c.read_retries for c in clients),
+        read_failovers=sum(c.read_failovers for c in clients),
+        read_resumptions=sum(c.read_resumptions for c in clients),
+        bytes_resumed=sum(c.bytes_resumed for c in clients),
+    )

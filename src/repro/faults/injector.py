@@ -1,0 +1,198 @@
+"""Arms a :class:`~repro.faults.plan.FaultPlan` against a live cluster.
+
+The injector translates declarative fault events into concrete hooks:
+link/switch failures go through the SDN controller (which aborts the
+affected flows and notifies listeners), process crashes go through the RPC
+fabric's down-endpoint set, monitoring loss flips the stats collector's
+suppression flag, and delay spikes scale the fabric's control latency.
+All events run as ordinary simulation callbacks, so a fault storm is just
+more events on the same deterministic clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.faults.plan import FaultEvent, FaultPlan
+
+
+@dataclass(frozen=True)
+class AppliedEvent:
+    """Journal entry: one fault event that actually fired."""
+
+    time: float
+    kind: str
+    target: str
+    detail: str = ""
+
+
+class FaultInjector:
+    """Drives fault events into a cluster's control and data planes.
+
+    Parameters
+    ----------
+    loop:
+        The simulation clock shared by every component.
+    controller:
+        SDN controller (link/switch/host failure surface).
+    fabric:
+        RPC fabric (process crashes, partitions, delay spikes).
+    collector:
+        Optional stats collector (monitoring-loss faults); ``None`` for
+        clusters without a Flowserver, where those events no-op.
+    nameserver_endpoints:
+        Endpoints hosting the nameserver service, targeted by
+        ``nameserver_failover`` events.
+    """
+
+    def __init__(
+        self,
+        loop,
+        controller,
+        fabric,
+        collector=None,
+        nameserver_endpoints: Optional[List[str]] = None,
+    ):
+        self._loop = loop
+        self._controller = controller
+        self._fabric = fabric
+        self._collector = collector
+        self._ns_endpoints = list(nameserver_endpoints or [])
+        self.events_applied = 0
+        self.journal: List[AppliedEvent] = []
+        self.flows_aborted_by_faults = 0
+
+    @classmethod
+    def for_cluster(cls, cluster) -> "FaultInjector":
+        """Wire an injector to an assembled :class:`repro.cluster.Cluster`."""
+        collector = (
+            cluster.flowserver.collector if cluster.flowserver is not None else None
+        )
+        return cls(
+            cluster.loop,
+            cluster.controller,
+            cluster.fabric,
+            collector=collector,
+            nameserver_endpoints=list(cluster.nameserver_endpoints),
+        )
+
+    def arm(self, plan: FaultPlan) -> int:
+        """Schedule every event (and auto-recovery) on the loop.
+
+        Returns the number of events scheduled.  Events in the plan's past
+        are rejected — a plan must be armed before the clock reaches its
+        first event.
+        """
+        events = plan.expanded()
+        for event in events:
+            if event.time < self._loop.now:
+                raise ValueError(
+                    f"fault event {event.kind!r} at t={event.time} is in the "
+                    f"past (now={self._loop.now})"
+                )
+            self._loop.call_at(event.time, self._apply, event)
+        return len(events)
+
+    # ------------------------------------------------------------------
+    # Event application
+    # ------------------------------------------------------------------
+
+    def _apply(self, event: FaultEvent) -> None:
+        handler = getattr(self, f"_do_{event.kind}")
+        detail = handler(event) or ""
+        self.events_applied += 1
+        self.journal.append(
+            AppliedEvent(
+                time=self._loop.now, kind=event.kind, target=event.target,
+                detail=detail,
+            )
+        )
+
+    def _do_link_down(self, event: FaultEvent) -> str:
+        victims = self._controller.fail_link(event.target)
+        self.flows_aborted_by_faults += len(victims)
+        return f"aborted {len(victims)} flow(s)"
+
+    def _do_link_up(self, event: FaultEvent) -> str:
+        self._controller.restore_link(event.target)
+        return ""
+
+    def _do_switch_fail(self, event: FaultEvent) -> str:
+        victims = self._controller.fail_switch(event.target)
+        self.flows_aborted_by_faults += len(victims)
+        return f"aborted {len(victims)} flow(s)"
+
+    def _do_switch_recover(self, event: FaultEvent) -> str:
+        self._controller.recover_switch(event.target)
+        return ""
+
+    def _do_dataserver_crash(self, event: FaultEvent) -> str:
+        self._fabric.set_down(event.target)
+        victims = self._controller.fail_host(event.target)
+        self.flows_aborted_by_faults += len(victims)
+        return f"aborted {len(victims)} flow(s)"
+
+    def _do_dataserver_restart(self, event: FaultEvent) -> str:
+        self._fabric.set_down(event.target, down=False)
+        self._controller.recover_host(event.target)
+        return ""
+
+    def _do_nameserver_failover(self, event: FaultEvent) -> str:
+        # Take the primary nameserver endpoint down; replicated clients
+        # fail over to the next endpoint, single-instance clients back
+        # off and retry until the recovery event below.
+        target = event.target or (
+            self._ns_endpoints[0] if self._ns_endpoints else ""
+        )
+        if not target:
+            return "no nameserver endpoint known"
+        self._fabric.set_down(target)
+        return f"endpoint {target}"
+
+    def _do_nameserver_recover(self, event: FaultEvent) -> str:
+        target = event.target or (
+            self._ns_endpoints[0] if self._ns_endpoints else ""
+        )
+        if not target:
+            return "no nameserver endpoint known"
+        self._fabric.set_down(target, down=False)
+        return f"endpoint {target}"
+
+    def _split_pair(self, target: str) -> Tuple[str, str]:
+        if "|" not in target:
+            raise ValueError(
+                f"partition target must be 'endpointA|endpointB', got {target!r}"
+            )
+        a, b = target.split("|", 1)
+        return a, b
+
+    def _do_rpc_partition(self, event: FaultEvent) -> str:
+        a, b = self._split_pair(event.target)
+        self._fabric.set_partition(a, b)
+        return ""
+
+    def _do_rpc_heal(self, event: FaultEvent) -> str:
+        a, b = self._split_pair(event.target)
+        self._fabric.set_partition(a, b, partitioned=False)
+        return ""
+
+    def _do_stats_poll_loss(self, event: FaultEvent) -> str:
+        if self._collector is None:
+            return "no collector (scheme without Flowserver); no-op"
+        self._collector.suppress_polls = True
+        return ""
+
+    def _do_stats_poll_restore(self, event: FaultEvent) -> str:
+        if self._collector is None:
+            return "no collector (scheme without Flowserver); no-op"
+        self._collector.suppress_polls = False
+        return ""
+
+    def _do_rpc_delay_spike(self, event: FaultEvent) -> str:
+        self._fabric.delay_factor = max(1.0, event.magnitude)
+        return f"x{self._fabric.delay_factor:g}"
+
+    def _do_rpc_delay_restore(self, event: FaultEvent) -> str:
+        self._fabric.delay_factor = 1.0
+        return ""

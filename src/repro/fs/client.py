@@ -11,14 +11,16 @@ size so appended tails are discovered without another nameserver round-trip.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass
-from typing import Dict, Generator, List, Optional, Sequence
+from typing import Dict, Generator, List, Optional, Sequence, Tuple
 
 from repro.fs.chunks import DEFAULT_CHUNK_BYTES, DEFAULT_REPLICATION, FileMetadata
 from repro.fs.consistency import ConsistencyMode, replica_candidates_for_range
 from repro.fs.errors import InvalidRequestError
+from repro.fs.retry import RetryPolicy
 from repro.sim.engine import EventLoop
-from repro.sim.process import Process
+from repro.sim.process import Delay, Process
 
 
 @dataclass(frozen=True)
@@ -101,6 +103,8 @@ class MayflowerClient:
         consistency: ConsistencyMode = ConsistencyMode.SEQUENTIAL,
         metadata_ttl: float = 60.0,
         max_read_attempts: int = 3,
+        retry: Optional[RetryPolicy] = None,
+        retry_rng: Optional[random.Random] = None,
     ):
         self.host_id = host_id
         self._loop = loop
@@ -117,10 +121,18 @@ class MayflowerClient:
         self.consistency = consistency
         self.metadata_ttl = metadata_ttl
         self.max_read_attempts = max(1, max_read_attempts)
+        #: Optional backoff/deadline policy; ``None`` keeps the historical
+        #: immediate-failover behaviour (and the historical event timeline,
+        #: bit-for-bit, since no delays or RNG draws are ever introduced).
+        self._retry = retry
+        self._retry_rng = retry_rng
         self._cache: Dict[str, _CacheEntry] = {}
         self.cache_hits = 0
         self.cache_misses = 0
         self.read_failovers = 0
+        self.read_retries = 0
+        self.read_resumptions = 0
+        self.bytes_resumed = 0
 
     # ------------------------------------------------------------------
     # Namespace operations
@@ -255,8 +267,8 @@ class MayflowerClient:
 
         slot = 0
         for sub_offset, sub_length, replicas in subranges:
-            transfers = yield from self._planner.plan(
-                self.host_id, metadata, replicas, sub_length, job_id=job_id
+            transfers = yield from self._plan_with_retry(
+                metadata, replicas, sub_length, job_id
             )
             covered = sum(t.size_bytes for t in transfers)
             if covered != sub_length:
@@ -301,24 +313,88 @@ class MayflowerClient:
     def _invoke_nameserver(self, method: str, *args) -> Generator:
         """Call the nameserver, failing over across replica endpoints.
 
-        Both whole-host failures (HostDown) and crashed nameserver
-        processes (ServiceNotFound) trigger the failover.
+        Whole-host failures (HostDown), crashed nameserver processes
+        (ServiceNotFound) and deadline expiries (RpcTimeout, when the
+        retry policy sets one) all trigger the failover.  With a retry
+        policy, exhausted endpoint sweeps repeat after exponential
+        backoff until attempts or the operation deadline run out.
         """
-        from repro.rpc.errors import HostDownError, ServiceNotFoundError
+        from repro.rpc.errors import HostDownError, RpcTimeout, ServiceNotFoundError
 
+        policy = self._retry
+        rpc_timeout = policy.rpc_timeout if policy is not None else None
+        rounds = policy.max_attempts if policy is not None else 1
+        deadline = (
+            self._loop.now + policy.operation_deadline
+            if policy is not None and policy.operation_deadline is not None
+            else None
+        )
         last_error: Optional[Exception] = None
-        for endpoint in self._ns_endpoints:
-            try:
-                result = yield from self._fabric.invoke(
-                    self.host_id, endpoint, "nameserver", method, *args
-                )
-                return result
-            except (HostDownError, ServiceNotFoundError) as err:
-                last_error = err
-                continue
+        for round_index in range(rounds):
+            if round_index > 0:
+                self.read_retries += 1
+                delay = policy.backoff(round_index - 1, self._retry_rng)
+                if delay > 0:
+                    yield Delay(delay)
+            for endpoint in self._ns_endpoints:
+                if deadline is not None and self._loop.now > deadline:
+                    from repro.fs.errors import OperationTimeoutError
+
+                    raise OperationTimeoutError(
+                        f"nameserver {method!r} exceeded its "
+                        f"{policy.operation_deadline:.6g}s deadline: {last_error}"
+                    )
+                try:
+                    result = yield from self._fabric.invoke(
+                        self.host_id,
+                        endpoint,
+                        "nameserver",
+                        method,
+                        *args,
+                        rpc_timeout=rpc_timeout,
+                    )
+                    return result
+                except (HostDownError, ServiceNotFoundError, RpcTimeout) as err:
+                    last_error = err
+                    continue
         raise HostDownError(
             f"no nameserver replica reachable for {method!r}: {last_error}"
         )
+
+    def _plan_with_retry(
+        self,
+        metadata: FileMetadata,
+        replicas: Sequence[str],
+        size_bytes: int,
+        job_id: Optional[str],
+    ) -> Generator:
+        """Run the read planner; with a retry policy, survive transient
+        planner/Flowserver outages by backing off and retrying."""
+        from repro.rpc.errors import (
+            HostDownError,
+            RemoteInvocationError,
+            RpcTimeout,
+        )
+
+        policy = self._retry
+        attempts = policy.max_attempts if policy is not None else 1
+        last_error: Optional[Exception] = None
+        for attempt_index in range(attempts):
+            if attempt_index > 0:
+                self.read_retries += 1
+                delay = policy.backoff(attempt_index - 1, self._retry_rng)
+                if delay > 0:
+                    yield Delay(delay)
+            try:
+                transfers = yield from self._planner.plan(
+                    self.host_id, metadata, replicas, size_bytes, job_id=job_id
+                )
+                return transfers
+            except (HostDownError, RpcTimeout, RemoteInvocationError) as err:
+                if policy is None:
+                    raise
+                last_error = err
+        raise HostDownError(f"read planner unreachable: {last_error}")
 
     def _metadata(self, name: str) -> Generator:
         entry = self._cache.get(name)
@@ -354,15 +430,15 @@ class MayflowerClient:
         reply_sizes: List[int],
         job_id: Optional[str],
     ) -> Process:
-        def attempt(replica, flow_id, path):
+        def attempt(replica, flow_id, path, abs_offset, nbytes):
             reply = yield from self._fabric.invoke(
                 self.host_id,
                 replica,
                 "dataserver",
                 "serve_read",
                 metadata.file_id,
-                file_offset,
-                transfer.size_bytes,
+                abs_offset,
+                nbytes,
                 self.host_id,
                 flow_id,
                 path,
@@ -371,36 +447,172 @@ class MayflowerClient:
             return reply
 
         def body():
-            from repro.rpc.errors import HostDownError
-
-            tried = []
-            last_error: Optional[Exception] = None
-            replica, flow_id, path = transfer.replica, transfer.flow_id, transfer.path
-            for attempt_index in range(self.max_read_attempts):
-                try:
-                    reply = yield from attempt(replica, flow_id, path)
-                except HostDownError as err:
-                    # Failover: retry the same range from another replica;
-                    # the pre-arranged flow/path died with the host, so the
-                    # data plane re-routes (ECMP) on the retry.
-                    tried.append(replica)
-                    last_error = err
-                    alternatives = [
-                        r for r in metadata.replicas if r not in tried
-                    ]
-                    if not alternatives or attempt_index + 1 >= self.max_read_attempts:
-                        break
-                    replica, flow_id, path = alternatives[0], None, None
-                    self.read_failovers += 1
-                    continue
-                chunks[slot] = reply.data
-                reply_sizes.append(reply.file_size)
-                return reply
-            from repro.fs.errors import ReplicaUnavailableError
-
-            raise ReplicaUnavailableError(
-                f"read of {metadata.name!r} range {file_offset}+"
-                f"{transfer.size_bytes} failed on replicas {tried}: {last_error}"
+            from repro.fs.errors import OperationTimeoutError, ReplicaUnavailableError
+            from repro.net.simulator import FlowAborted
+            from repro.rpc.errors import (
+                HostDownError,
+                RemoteInvocationError,
+                RpcTimeout,
             )
 
+            policy = self._retry
+            started = self._loop.now
+            deadline = (
+                started + policy.operation_deadline
+                if policy is not None and policy.operation_deadline is not None
+                else None
+            )
+            max_attempts = (
+                policy.max_attempts if policy is not None else self.max_read_attempts
+            )
+
+            # Byte ranges still to fetch: (replica, flow_id, path, abs
+            # offset, length).  A mid-transfer abort keeps the delivered
+            # prefix and pushes back only the remainder — possibly
+            # re-planned onto a different replica via the Flowserver.
+            queue: List[Tuple[str, Optional[str], Optional[object], int, int]] = [
+                (
+                    transfer.replica,
+                    transfer.flow_id,
+                    transfer.path,
+                    file_offset,
+                    transfer.size_bytes,
+                )
+            ]
+            parts: Dict[int, Optional[bytes]] = {}
+            down_replicas: List[str] = []
+            failures = 0
+            last_error: Optional[Exception] = None
+            last_reply = None
+
+            while queue:
+                replica, flow_id, path, abs_off, nbytes = queue.pop(0)
+                if deadline is not None and self._loop.now > deadline:
+                    raise OperationTimeoutError(
+                        f"read of {metadata.name!r} range {file_offset}+"
+                        f"{transfer.size_bytes} exceeded its "
+                        f"{policy.operation_deadline:.6g}s deadline: {last_error}"
+                    )
+                try:
+                    reply = yield from attempt(replica, flow_id, path, abs_off, nbytes)
+                except (HostDownError, RpcTimeout, RemoteInvocationError) as err:
+                    aborted: Optional[FlowAborted] = None
+                    if isinstance(err, RemoteInvocationError):
+                        if isinstance(err.remote_error, FlowAborted):
+                            aborted = err.remote_error
+                        else:
+                            # Remote logic errors (bad range, missing file)
+                            # are not transient — retrying cannot help.
+                            raise
+                    failures += 1
+                    last_error = err
+                    if isinstance(err, (HostDownError, RpcTimeout)):
+                        if replica not in down_replicas:
+                            down_replicas.append(replica)
+
+                    remaining_off, remaining_len = abs_off, nbytes
+                    if aborted is not None:
+                        delivered = min(int(aborted.bytes_delivered), nbytes)
+                        if delivered > 0:
+                            parts[abs_off] = (
+                                aborted.data[:delivered]
+                                if aborted.data is not None
+                                else None
+                            )
+                            remaining_off += delivered
+                            remaining_len -= delivered
+                            self.read_resumptions += 1
+                            self.bytes_resumed += delivered
+
+                    candidates = [
+                        r for r in metadata.replicas if r not in down_replicas
+                    ]
+                    if remaining_len <= 0:
+                        continue
+                    if failures >= max_attempts or (
+                        not candidates and policy is None
+                    ):
+                        raise ReplicaUnavailableError(
+                            f"read of {metadata.name!r} range {file_offset}+"
+                            f"{transfer.size_bytes} failed after {failures} "
+                            f"attempt(s), replicas down {down_replicas}: "
+                            f"{last_error}"
+                        )
+                    if not candidates:
+                        # Every replica has failed at least once, but a
+                        # timed outage may since have healed; forgive the
+                        # blacklist and re-probe after backoff (the
+                        # failure budget still bounds total attempts).
+                        down_replicas.clear()
+                        candidates = list(metadata.replicas)
+                    if replica in down_replicas:
+                        self.read_failovers += 1
+                    self.read_retries += 1
+                    if policy is not None:
+                        delay = policy.backoff(failures - 1, self._retry_rng)
+                        if delay > 0:
+                            yield Delay(delay)
+                    requeue = yield from self._replan_range(
+                        metadata, candidates, replica, remaining_off,
+                        remaining_len, job_id,
+                    )
+                    queue[:0] = requeue
+                    continue
+                parts[abs_off] = reply.data
+                reply_sizes.append(reply.file_size)
+                last_reply = reply
+
+            data = None
+            if parts and all(v is not None for v in parts.values()):
+                data = b"".join(parts[k] for k in sorted(parts))
+            chunks[slot] = data
+            return last_reply
+
         return Process(self._loop, body(), name=f"read:{metadata.name}:{slot}")
+
+    def _replan_range(
+        self,
+        metadata: FileMetadata,
+        candidates: List[str],
+        failed_replica: str,
+        offset: int,
+        length: int,
+        job_id: Optional[str],
+    ) -> Generator:
+        """Plan the retry of a byte range after a failure.
+
+        Asks the planner (the Flowserver, for Mayflower) to place the
+        remaining bytes across the surviving replicas; if the planner is
+        itself unreachable or returns a bad cover, falls back to a direct
+        ECMP-routed read from the first healthy replica.
+        """
+        from repro.rpc.errors import HostDownError, RemoteInvocationError, RpcTimeout
+
+        transfers = None
+        try:
+            planned = yield from self._planner.plan(
+                self.host_id, metadata, candidates, length, job_id=job_id
+            )
+            if planned and sum(t.size_bytes for t in planned) == length:
+                transfers = planned
+        except (HostDownError, RpcTimeout, RemoteInvocationError):
+            transfers = None
+        if transfers is None:
+            fallback = (
+                candidates[0] if failed_replica not in candidates else failed_replica
+            )
+            return [(fallback, None, None, offset, length)]
+        requeue = []
+        cursor = offset
+        for planned_transfer in transfers:
+            requeue.append(
+                (
+                    planned_transfer.replica,
+                    planned_transfer.flow_id,
+                    planned_transfer.path,
+                    cursor,
+                    planned_transfer.size_bytes,
+                )
+            )
+            cursor += planned_transfer.size_bytes
+        return requeue

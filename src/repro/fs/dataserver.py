@@ -25,6 +25,7 @@ from typing import Dict, Generator, List, Optional, Tuple
 
 from repro.fs.chunks import FileMetadata
 from repro.fs.errors import FileNotFoundFsError, InvalidRequestError
+from repro.net.simulator import FlowAborted
 from repro.sim.engine import EventLoop
 from repro.sim.process import Signal
 
@@ -248,9 +249,17 @@ class Dataserver:
             raise InvalidRequestError(
                 f"read past end of file: {offset}+{length} > {stored.size_bytes}"
             )
-        yield from self._dataplane.transfer(
-            self.host_id, to_host, length, flow_id=flow_id, path=path, job_id=job_id
-        )
+        try:
+            yield from self._dataplane.transfer(
+                self.host_id, to_host, length, flow_id=flow_id, path=path, job_id=job_id
+            )
+        except FlowAborted as exc:
+            # Attach the delivered payload prefix so a resuming client
+            # keeps the bytes that made it across before the failure.
+            delivered = min(int(exc.bytes_delivered), length)
+            if stored.payload is not None and delivered > 0:
+                exc.data = bytes(stored.payload[offset : offset + delivered])
+            raise
         self.reads_served += 1
         data = None
         if stored.payload is not None:

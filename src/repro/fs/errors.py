@@ -21,3 +21,12 @@ class ReplicaUnavailableError(FsError):
 
 class InvalidRequestError(FsError):
     """Malformed client request (bad offsets, sizes, etc.)."""
+
+
+class OperationTimeoutError(FsError):
+    """A client operation exhausted its overall deadline.
+
+    Raised by :class:`~repro.fs.client.MayflowerClient` when a
+    :class:`~repro.fs.retry.RetryPolicy` with ``operation_deadline`` runs
+    out of simulated-time budget across attempts and backoff.
+    """

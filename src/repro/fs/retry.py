@@ -1,0 +1,78 @@
+"""Client-side retry policy: exponential backoff with jitter + deadlines.
+
+Retries are how the client survives the fault classes the injection
+subsystem (:mod:`repro.faults`) produces — downed dataservers, failed
+links aborting transfers mid-flight, control-plane timeouts.  The policy
+is deliberately inert when nothing fails: no delay is drawn and no RNG
+state is consumed on the success path, which keeps fault-free runs
+bit-identical to a client with no policy at all.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How a client paces retries of a failed operation.
+
+    Parameters
+    ----------
+    max_attempts:
+        Total tries per operation (first attempt included).
+    base_delay:
+        Backoff before the first retry, in simulated seconds.
+    multiplier:
+        Exponential growth factor between consecutive retries.
+    max_delay:
+        Ceiling on a single backoff interval.
+    jitter:
+        Fraction of each interval randomized (0 = deterministic,
+        1 = "full jitter").  The delay for retry ``n`` is drawn from
+        ``[d*(1-jitter), d]`` where ``d = min(max_delay, base*mult**n)``.
+    operation_deadline:
+        Overall budget for one logical operation (all attempts plus
+        backoff), in simulated seconds; ``None`` disables it.
+    rpc_timeout:
+        Per-call deadline applied to *control-plane* RPCs (nameserver
+        lookups, planner requests); ``None`` disables it.  Bulk data
+        transfers are never bounded by this — their failure signal is
+        :class:`~repro.net.simulator.FlowAborted`.
+    """
+
+    max_attempts: int = 5
+    base_delay: float = 0.05
+    multiplier: float = 2.0
+    max_delay: float = 2.0
+    jitter: float = 0.5
+    operation_deadline: Optional[float] = None
+    rpc_timeout: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValueError("delays must be non-negative")
+        if self.multiplier < 1.0:
+            raise ValueError(f"multiplier must be >= 1, got {self.multiplier}")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError(f"jitter must be in [0, 1], got {self.jitter}")
+
+    def backoff(self, retry_index: int, rng: Optional[random.Random] = None) -> float:
+        """Delay before retry ``retry_index`` (0 = first retry)."""
+        if retry_index < 0:
+            raise ValueError(f"retry_index must be >= 0, got {retry_index}")
+        raw = min(self.max_delay, self.base_delay * self.multiplier**retry_index)
+        if raw <= 0 or self.jitter <= 0 or rng is None:
+            return raw
+        return raw * (1.0 - self.jitter * rng.random())
+
+
+#: Immediate-failover policy matching the historical client behaviour:
+#: no backoff, no deadlines, three attempts.
+LEGACY_POLICY = RetryPolicy(
+    max_attempts=3, base_delay=0.0, multiplier=1.0, max_delay=0.0, jitter=0.0
+)

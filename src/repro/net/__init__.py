@@ -22,7 +22,7 @@ from repro.net.fairshare import (
 )
 from repro.net.links import Link, LinkDirection
 from repro.net.routing import Path, RoutingTable
-from repro.net.simulator import Flow, FlowNetwork
+from repro.net.simulator import Flow, FlowAborted, FlowNetwork
 from repro.net.switch import Switch
 from repro.net.topology import (
     Host,
@@ -36,6 +36,7 @@ from repro.net.topology import (
 __all__ = [
     "EcmpHasher",
     "Flow",
+    "FlowAborted",
     "FlowNetwork",
     "Host",
     "Link",

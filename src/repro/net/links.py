@@ -38,7 +38,16 @@ class Link:
         core-facing links).
     """
 
-    __slots__ = ("link_id", "src", "dst", "capacity_bps", "direction", "bytes_sent", "flows")
+    __slots__ = (
+        "link_id",
+        "src",
+        "dst",
+        "capacity_bps",
+        "direction",
+        "bytes_sent",
+        "flows",
+        "up",
+    )
 
     def __init__(
         self,
@@ -57,6 +66,10 @@ class Link:
         self.direction = direction
         self.bytes_sent = 0.0
         self.flows: Set[str] = set()
+        #: Administrative/physical state.  A down link carries no flows:
+        #: the simulator aborts flows traversing it when it fails and
+        #: refuses to start new flows over it until it comes back up.
+        self.up = True
 
     @property
     def flow_count(self) -> int:

@@ -26,6 +26,47 @@ from repro.sim.engine import EventHandle, EventLoop
 _COMPLETION_EPSILON_BITS = 1e-3
 
 
+class FlowAborted(Exception):
+    """A flow was terminated before delivering its last byte.
+
+    Raised synchronously when a transfer is started (or rerouted) over a
+    link that is down, and delivered to each victim flow's ``on_abort``
+    callback when a link or switch on its path fails mid-transfer.
+
+    Attributes
+    ----------
+    flow_id:
+        The aborted flow.
+    link_id:
+        The failed link that killed the flow (``None`` when the flow was
+        aborted for another reason, e.g. an explicit host crash).
+    bytes_delivered:
+        Bytes that reached the receiver before the abort; resumable reads
+        re-request only the remainder.
+    data:
+        Optional delivered payload prefix, attached by the dataserver when
+        real payloads are stored, so resumed reads stay byte-accurate.
+    """
+
+    def __init__(
+        self,
+        flow_id: str,
+        link_id: Optional[str] = None,
+        bytes_delivered: float = 0.0,
+        reason: str = "link failure",
+    ):
+        self.flow_id = flow_id
+        self.link_id = link_id
+        self.bytes_delivered = bytes_delivered
+        self.reason = reason
+        self.data: Optional[bytes] = None
+        where = f" on link {link_id!r}" if link_id else ""
+        super().__init__(
+            f"flow {flow_id!r} aborted ({reason}){where} after "
+            f"{bytes_delivered:.0f} bytes"
+        )
+
+
 class Flow:
     """An active fluid flow over a fixed path.
 
@@ -53,6 +94,7 @@ class Flow:
         "start_time",
         "end_time",
         "on_complete",
+        "on_abort",
         "job_id",
     )
 
@@ -63,6 +105,7 @@ class Flow:
         size_bits: float,
         start_time: float,
         on_complete: Optional[Callable[["Flow"], None]] = None,
+        on_abort: Optional[Callable[["Flow", FlowAborted], None]] = None,
         job_id: Optional[str] = None,
     ):
         if size_bits <= 0:
@@ -76,6 +119,7 @@ class Flow:
         self.start_time = start_time
         self.end_time: Optional[float] = None
         self.on_complete = on_complete
+        self.on_abort = on_abort
         self.job_id = job_id
 
     @property
@@ -112,6 +156,7 @@ class FlowNetwork:
         self._last_progress_time = loop.now
         self._completion_event: Optional[EventHandle] = None
         self.completed_flows = 0
+        self.aborted_flows = 0
 
     @property
     def loop(self) -> EventLoop:
@@ -137,15 +182,23 @@ class FlowNetwork:
         path: Path,
         size_bits: float,
         on_complete: Optional[Callable[[Flow], None]] = None,
+        on_abort: Optional[Callable[[Flow, FlowAborted], None]] = None,
         job_id: Optional[str] = None,
     ) -> Flow:
         """Begin transferring ``size_bits`` along ``path``.
 
         ``on_complete(flow)`` fires (as a simulation event) when the last
-        bit is delivered.
+        bit is delivered; ``on_abort(flow, exc)`` fires instead if a link
+        on the path fails mid-transfer.
+
+        Raises
+        ------
+        FlowAborted
+            If any link on ``path`` is currently down.
         """
         if flow_id in self._flows:
             raise ValueError(f"duplicate flow id {flow_id!r}")
+        self._check_path_up(flow_id, path)
         self._advance_progress()
         flow = Flow(
             flow_id,
@@ -153,6 +206,7 @@ class FlowNetwork:
             size_bits,
             start_time=self._loop.now,
             on_complete=on_complete,
+            on_abort=on_abort,
             job_id=job_id,
         )
         self._flows[flow_id] = flow
@@ -185,6 +239,7 @@ class FlowNetwork:
                 f"reroute must keep endpoints: {flow.src}->{flow.dst} vs "
                 f"{new_path.src}->{new_path.dst}"
             )
+        self._check_path_up(flow_id, new_path)
         self._advance_progress()
         for link_id in flow.path.link_ids:
             self._topo.links[link_id].flows.discard(flow_id)
@@ -193,6 +248,99 @@ class FlowNetwork:
             self._topo.links[link_id].flows.add(flow_id)
         self._recompute_rates()
         return flow
+
+    # ------------------------------------------------------------------
+    # Failure semantics
+    # ------------------------------------------------------------------
+
+    def fail_link(self, link_id: str) -> List[Flow]:
+        """Take a directed link down, aborting every flow traversing it.
+
+        Remaining flows' rates are recomputed immediately (the freed
+        capacity redistributes); each victim's ``on_abort`` callback fires
+        with a :class:`FlowAborted` carrying its delivered-byte count.
+        Idempotent: failing an already-down link returns ``[]``.
+        """
+        link = self._topo.links[link_id]
+        if not link.up:
+            return []
+        self._advance_progress()
+        link.up = False
+        victims = [self._flows[fid] for fid in sorted(link.flows)]
+        return self._abort(victims, link_id=link_id, reason="link failure")
+
+    def restore_link(self, link_id: str) -> None:
+        """Bring a failed link back up (counters persist).  Idempotent."""
+        self._topo.links[link_id].up = True
+
+    def fail_node_links(self, node_id: str) -> List[Flow]:
+        """Fail every directed link touching ``node_id`` (switch or host).
+
+        Models a switch failure or a host crash: all adjacent cables go
+        dark in both directions and every flow through the node aborts.
+        Returns the distinct aborted flows.
+        """
+        self._advance_progress()
+        victim_ids: Dict[str, str] = {}
+        for link in self._topo.links.values():
+            if link.src != node_id and link.dst != node_id:
+                continue
+            if not link.up:
+                continue
+            link.up = False
+            for fid in link.flows:
+                victim_ids.setdefault(fid, link.link_id)
+        victims = [self._flows[fid] for fid in sorted(victim_ids)]
+        return self._abort(
+            victims,
+            link_id=None,
+            reason=f"node {node_id} failure",
+            per_flow_link=victim_ids,
+        )
+
+    def restore_node_links(self, node_id: str) -> None:
+        """Bring every link touching ``node_id`` back up.  Idempotent."""
+        for link in self._topo.links.values():
+            if link.src == node_id or link.dst == node_id:
+                link.up = True
+
+    def link_is_up(self, link_id: str) -> bool:
+        return self._topo.links[link_id].up
+
+    def path_is_up(self, path: Path) -> bool:
+        """Whether every link along ``path`` is currently up."""
+        return all(self._topo.links[lid].up for lid in path.link_ids)
+
+    def _check_path_up(self, flow_id: str, path: Path) -> None:
+        for link_id in path.link_ids:
+            if not self._topo.links[link_id].up:
+                raise FlowAborted(flow_id, link_id=link_id, bytes_delivered=0.0)
+
+    def _abort(
+        self,
+        victims: List[Flow],
+        link_id: Optional[str],
+        reason: str,
+        per_flow_link: Optional[Dict[str, str]] = None,
+    ) -> List[Flow]:
+        """Remove ``victims``, recompute rates, then fire abort callbacks."""
+        for flow in victims:
+            self._remove(flow)
+            self.aborted_flows += 1
+        self._recompute_rates()
+        # Callbacks run after rates settle (mirroring completions) so a
+        # callback starting a recovery flow observes a consistent network.
+        for flow in victims:
+            failed_link = per_flow_link.get(flow.flow_id) if per_flow_link else link_id
+            exc = FlowAborted(
+                flow.flow_id,
+                link_id=failed_link,
+                bytes_delivered=flow.bytes_sent,
+                reason=reason,
+            )
+            if flow.on_abort is not None:
+                flow.on_abort(flow, exc)
+        return victims
 
     def _remove(self, flow: Flow) -> None:
         for link_id in flow.path.link_ids:

@@ -13,12 +13,20 @@ injection (downed hosts, dropped messages) is built in for fault tests.
 """
 
 from repro.rpc.fabric import RpcFabric, RpcResponse
-from repro.rpc.errors import HostDownError, RpcError, ServiceNotFoundError
+from repro.rpc.errors import (
+    HostDownError,
+    RemoteInvocationError,
+    RpcError,
+    RpcTimeout,
+    ServiceNotFoundError,
+)
 
 __all__ = [
     "HostDownError",
+    "RemoteInvocationError",
     "RpcError",
     "RpcFabric",
     "RpcResponse",
+    "RpcTimeout",
     "ServiceNotFoundError",
 ]

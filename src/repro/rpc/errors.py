@@ -1,10 +1,65 @@
-"""RPC error types."""
+"""RPC error types.
+
+Every error carries optional context — the endpoint the call targeted,
+the service/method invoked, and how long the call had been outstanding —
+so failure-injection tests and logs can say *which* call died, not just
+that one did.  Context fields appear in ``str(exc)`` when set.
+"""
 
 from __future__ import annotations
 
+from typing import Optional
+
 
 class RpcError(Exception):
-    """Base class for everything the RPC fabric can raise at a caller."""
+    """Base class for everything the RPC fabric can raise at a caller.
+
+    Parameters
+    ----------
+    message:
+        Human-readable description of the failure.
+    endpoint, service, method:
+        Where the failed call was headed (when known).
+    elapsed:
+        Simulated seconds the call had been outstanding when it failed.
+    """
+
+    def __init__(
+        self,
+        message: str = "",
+        *,
+        endpoint: Optional[str] = None,
+        service: Optional[str] = None,
+        method: Optional[str] = None,
+        elapsed: Optional[float] = None,
+    ):
+        super().__init__(message)
+        self.message = message
+        self.endpoint = endpoint
+        self.service = service
+        self.method = method
+        self.elapsed = elapsed
+
+    def _context(self) -> str:
+        parts = []
+        if self.service is not None or self.method is not None:
+            target = f"{self.service or '?'}.{self.method or '?'}"
+            if self.endpoint is not None:
+                target += f"@{self.endpoint}"
+            parts.append(target)
+        elif self.endpoint is not None:
+            parts.append(f"endpoint={self.endpoint}")
+        if self.elapsed is not None:
+            parts.append(f"after {self.elapsed:.6g}s")
+        return ", ".join(parts)
+
+    def __str__(self) -> str:
+        context = self._context()
+        if not context:
+            return self.message
+        if not self.message:
+            return f"[{context}]"
+        return f"{self.message} [{context}]"
 
 
 class ServiceNotFoundError(RpcError):
@@ -15,11 +70,60 @@ class HostDownError(RpcError):
     """The destination endpoint is marked down (failure injection)."""
 
 
-class RemoteInvocationError(RpcError):
-    """The remote handler raised; carries the remote error text."""
+class RpcTimeout(RpcError):
+    """The call's deadline elapsed before a response arrived.
 
-    def __init__(self, service: str, method: str, message: str):
-        super().__init__(f"{service}.{method} failed remotely: {message}")
-        self.service = service
-        self.method = method
+    Raised by :meth:`repro.rpc.fabric.RpcFabric.invoke` when the caller
+    passed ``rpc_timeout=...`` and the response (success *or* failure)
+    did not land in time.  A late response is discarded.
+    """
+
+    def __init__(
+        self,
+        message: str = "",
+        *,
+        timeout: Optional[float] = None,
+        **kwargs: object,
+    ):
+        super().__init__(message, **kwargs)  # type: ignore[arg-type]
+        self.timeout = timeout
+
+
+class RemoteInvocationError(RpcError):
+    """The remote handler raised; carries the remote error text.
+
+    ``remote_error`` preserves the original exception object when the
+    failure happened in-process (the simulated fabric never serializes),
+    letting callers recover typed payloads such as
+    :class:`~repro.net.simulator.FlowAborted` resumption state.
+    """
+
+    def __init__(
+        self,
+        service: str,
+        method: str,
+        message: str,
+        *,
+        remote_error: Optional[BaseException] = None,
+        endpoint: Optional[str] = None,
+        elapsed: Optional[float] = None,
+    ):
+        super().__init__(
+            f"{service}.{method} failed remotely: {message}",
+            endpoint=endpoint,
+            service=service,
+            method=method,
+            elapsed=elapsed,
+        )
         self.remote_message = message
+        self.remote_error = remote_error
+
+    def __str__(self) -> str:
+        parts = []
+        if self.endpoint is not None:
+            parts.append(f"@{self.endpoint}")
+        if self.elapsed is not None:
+            parts.append(f"after {self.elapsed:.6g}s")
+        if not parts:
+            return self.message
+        return f"{self.message} [{', '.join(parts)}]"

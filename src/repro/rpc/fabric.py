@@ -15,6 +15,7 @@ from typing import Any, Dict, Generator, Optional, Set, Tuple
 from repro.rpc.errors import (
     HostDownError,
     RemoteInvocationError,
+    RpcTimeout,
     ServiceNotFoundError,
 )
 from repro.sim.engine import EventLoop
@@ -23,12 +24,19 @@ from repro.sim.process import Process, Signal
 
 @dataclass(frozen=True)
 class RpcResponse:
-    """Envelope delivered to the caller's completion signal."""
+    """Envelope delivered to the caller's completion signal.
+
+    ``remote_error`` carries the original exception object when the remote
+    handler raised — the fabric is in-process, so typed payloads (e.g.
+    :class:`~repro.net.simulator.FlowAborted` resumption state) survive
+    the round trip.
+    """
 
     ok: bool
     value: Any = None
     error: Optional[str] = None
     error_type: Optional[type] = None
+    remote_error: Optional[BaseException] = None
 
 
 class RpcFabric:
@@ -64,13 +72,18 @@ class RpcFabric:
         self._jitter_rng = _random.Random(seed ^ 0x52504A)
         self._services: Dict[Tuple[str, str], Any] = {}
         self._down: Set[str] = set()
+        self._partitions: Set[frozenset] = set()
+        #: Multiplier on control-message latency (fault injection: an
+        #: ``rpc_delay_spike`` raises it temporarily; 1.0 = nominal).
+        self.delay_factor = 1.0
         self.calls_sent = 0
         self.calls_failed = 0
+        self.calls_timed_out = 0
 
     def _one_way_delay(self) -> float:
         if self.jitter <= 0:
-            return self.latency
-        return self.latency + self._jitter_rng.uniform(0, self.jitter)
+            return self.latency * self.delay_factor
+        return (self.latency + self._jitter_rng.uniform(0, self.jitter)) * self.delay_factor
 
     # ------------------------------------------------------------------
     # Registration and failure injection
@@ -96,6 +109,22 @@ class RpcFabric:
     def is_down(self, endpoint: str) -> bool:
         return endpoint in self._down
 
+    def set_partition(self, a: str, b: str, partitioned: bool = True) -> None:
+        """Cut (or heal) the control channel between two endpoints.
+
+        Both endpoints stay individually reachable; only calls between the
+        pair fail (with :class:`HostDownError`), modelling an asymmetric
+        management-network partition.
+        """
+        pair = frozenset((a, b))
+        if partitioned:
+            self._partitions.add(pair)
+        else:
+            self._partitions.discard(pair)
+
+    def is_partitioned(self, a: str, b: str) -> bool:
+        return frozenset((a, b)) in self._partitions
+
     # ------------------------------------------------------------------
     # Calling
     # ------------------------------------------------------------------
@@ -107,21 +136,34 @@ class RpcFabric:
         service: str,
         method: str,
         *args: Any,
+        rpc_timeout: Optional[float] = None,
         **kwargs: Any,
     ) -> Signal:
         """Send a request; returns a signal fired with an :class:`RpcResponse`.
 
         The request arrives after one latency; the handler runs (possibly
         suspending, if it is a generator); the response arrives after
-        another latency.
+        another latency.  ``rpc_timeout`` (keyword-only, so it never
+        collides with handler kwargs) is a per-call deadline in simulated
+        seconds: if no response lands in time the signal fires with an
+        :class:`RpcTimeout` failure and any late response is discarded.
         """
         self.calls_sent += 1
         done = Signal(self._loop, name=f"rpc:{service}.{method}")
+        settled = [False]
 
-        def _respond(response: RpcResponse) -> None:
+        def _fire(response: RpcResponse) -> None:
+            # A deadline and a real response can race; first one wins and
+            # the loser is dropped (firing a Signal twice is an error).
+            if settled[0]:
+                return
+            settled[0] = True
             if not response.ok:
                 self.calls_failed += 1
-            self._loop.call_in(self._one_way_delay(), done.fire, response)
+            done.fire(response)
+
+        def _respond(response: RpcResponse) -> None:
+            self._loop.call_in(self._one_way_delay(), _fire, response)
 
         def _deliver() -> None:
             if dst in self._down or src in self._down:
@@ -129,6 +171,15 @@ class RpcFabric:
                     RpcResponse(
                         ok=False,
                         error=f"endpoint {dst if dst in self._down else src} is down",
+                        error_type=HostDownError,
+                    )
+                )
+                return
+            if frozenset((src, dst)) in self._partitions:
+                _respond(
+                    RpcResponse(
+                        ok=False,
+                        error=f"endpoints {src!r} and {dst!r} are partitioned",
                         error_type=HostDownError,
                     )
                 )
@@ -158,7 +209,10 @@ class RpcFabric:
             except Exception as err:  # noqa: BLE001 - shipped to caller
                 _respond(
                     RpcResponse(
-                        ok=False, error=str(err), error_type=RemoteInvocationError
+                        ok=False,
+                        error=str(err),
+                        error_type=RemoteInvocationError,
+                        remote_error=err,
                     )
                 )
                 return
@@ -172,6 +226,7 @@ class RpcFabric:
                                 ok=False,
                                 error=str(proc.exception),
                                 error_type=RemoteInvocationError,
+                                remote_error=proc.exception,
                             )
                         )
                     else:
@@ -182,6 +237,26 @@ class RpcFabric:
                 _respond(RpcResponse(ok=True, value=result))
 
         self._loop.call_in(self._one_way_delay(), _deliver)
+        if rpc_timeout is not None:
+            if rpc_timeout <= 0:
+                raise ValueError(f"rpc_timeout must be positive, got {rpc_timeout}")
+
+            def _expire() -> None:
+                if settled[0]:
+                    return
+                self.calls_timed_out += 1
+                _fire(
+                    RpcResponse(
+                        ok=False,
+                        error=(
+                            f"{service}.{method} to {dst!r}: no response "
+                            f"within {rpc_timeout:.6g}s"
+                        ),
+                        error_type=RpcTimeout,
+                    )
+                )
+
+            self._loop.call_in(rpc_timeout, _expire)
         return done
 
     def invoke(
@@ -191,17 +266,45 @@ class RpcFabric:
         service: str,
         method: str,
         *args: Any,
+        rpc_timeout: Optional[float] = None,
         **kwargs: Any,
     ) -> Generator:
         """Process-friendly call: ``result = yield from fabric.invoke(...)``.
 
         Raises the appropriate :class:`~repro.rpc.errors.RpcError` subclass
-        inside the calling process when the call fails.
+        inside the calling process when the call fails, with endpoint /
+        service / elapsed-time context attached.
         """
-        response = yield self.call(src, dst, service, method, *args, **kwargs)
+        started = self._loop.now
+        response = yield self.call(
+            src, dst, service, method, *args, rpc_timeout=rpc_timeout, **kwargs
+        )
         if response.ok:
             return response.value
+        elapsed = self._loop.now - started
         error_type = response.error_type or RemoteInvocationError
         if error_type is RemoteInvocationError:
-            raise RemoteInvocationError(service, method, response.error or "")
-        raise error_type(response.error)
+            raise RemoteInvocationError(
+                service,
+                method,
+                response.error or "",
+                remote_error=response.remote_error,
+                endpoint=dst,
+                elapsed=elapsed,
+            )
+        if error_type is RpcTimeout:
+            raise RpcTimeout(
+                response.error or "",
+                timeout=rpc_timeout,
+                endpoint=dst,
+                service=service,
+                method=method,
+                elapsed=elapsed,
+            )
+        raise error_type(
+            response.error or "",
+            endpoint=dst,
+            service=service,
+            method=method,
+            elapsed=elapsed,
+        )

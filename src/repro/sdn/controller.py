@@ -14,13 +14,17 @@ atomically, and tears the rules down when the transfer completes.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Set
 
 from repro.net.routing import Path
-from repro.net.simulator import Flow, FlowNetwork
+from repro.net.simulator import Flow, FlowAborted, FlowNetwork
 from repro.net.switch import Switch, build_switches
 from repro.sdn.flowtable import FlowTable
-from repro.sdn.openflow import FlowRemoved, FlowStatsReply, PortStatsReply
+from repro.sdn.openflow import FlowRemoved, FlowStatsReply, PortStatsReply, PortStatus
+
+
+class SwitchUnreachableError(RuntimeError):
+    """A statistics request was sent to a failed/disconnected switch."""
 
 
 @dataclass
@@ -51,6 +55,9 @@ class Controller:
         }
         self._records: Dict[str, FlowRecord] = {}
         self._removed_listeners: List[Callable[[FlowRemoved], None]] = []
+        self._port_status_listeners: List[Callable[[PortStatus], None]] = []
+        self._down_switches: Set[str] = set()
+        self.flows_aborted = 0
 
     # ------------------------------------------------------------------
     # Topology / switch access
@@ -116,13 +123,16 @@ class Controller:
         path: Path,
         size_bits: float,
         on_complete: Optional[Callable[[Flow], None]] = None,
+        on_abort: Optional[Callable[[Flow, FlowAborted], None]] = None,
         job_id: Optional[str] = None,
     ) -> Flow:
         """Install rules and start the data transfer.
 
         When the transfer completes the controller uninstalls the rules,
         emits a :class:`FlowRemoved` to all listeners, and then invokes
-        ``on_complete``.
+        ``on_complete``.  If a link on the path fails mid-transfer the
+        rules are likewise uninstalled, a :class:`FlowRemoved` with
+        ``aborted=True`` is emitted, and ``on_abort`` (if any) runs.
         """
         self.install_path(flow_id, path, size_bits)
 
@@ -140,9 +150,30 @@ class Controller:
             if on_complete is not None:
                 on_complete(flow)
 
+        def _aborted(flow: Flow, exc: FlowAborted) -> None:
+            self.uninstall_path(flow_id)
+            self.flows_aborted += 1
+            removed = FlowRemoved(
+                flow_id=flow.flow_id,
+                src=flow.src,
+                dst=flow.dst,
+                bytes_sent=flow.bytes_sent,
+                duration=self._loop.now - flow.start_time,
+                aborted=True,
+            )
+            for listener in list(self._removed_listeners):
+                listener(removed)
+            if on_abort is not None:
+                on_abort(flow, exc)
+
         try:
             return self._network.start_flow(
-                flow_id, path, size_bits, on_complete=_finished, job_id=job_id
+                flow_id,
+                path,
+                size_bits,
+                on_complete=_finished,
+                on_abort=_aborted,
+                job_id=job_id,
             )
         except Exception:
             self.uninstall_path(flow_id)
@@ -183,12 +214,101 @@ class Controller:
         """Subscribe to FlowRemoved events (e.g. the Flowserver)."""
         self._removed_listeners.append(listener)
 
+    def add_port_status_listener(self, listener: Callable[[PortStatus], None]) -> None:
+        """Subscribe to PortStatus events (link/switch up-down transitions)."""
+        self._port_status_listeners.append(listener)
+
+    def _emit_port_status(self, link_id: str, up: bool) -> None:
+        link = self._network.topology.links[link_id]
+        owner = link.src if link.src in self._switches else link.dst
+        if owner not in self._switches:
+            return
+        status = PortStatus(switch_id=owner, link_id=link_id, up=up)
+        for listener in list(self._port_status_listeners):
+            listener(status)
+
+    # ------------------------------------------------------------------
+    # Failure injection
+    # ------------------------------------------------------------------
+
+    def fail_link(self, link_id: str) -> List[Flow]:
+        """Take one directed link down, aborting the flows routed over it.
+
+        Abort callbacks (and the matching ``FlowRemoved(aborted=True)``
+        notifications) fire before this returns; the list of victims is
+        returned for logging.
+        """
+        victims = self._network.fail_link(link_id)
+        self._emit_port_status(link_id, up=False)
+        return victims
+
+    def restore_link(self, link_id: str) -> None:
+        """Bring a previously failed link back into service."""
+        self._network.restore_link(link_id)
+        self._emit_port_status(link_id, up=True)
+
+    def fail_switch(self, switch_id: str) -> List[Flow]:
+        """Fail a switch: all adjacent links go down and stats requests
+        to it raise :class:`SwitchUnreachableError` until recovery."""
+        if switch_id not in self._switches:
+            raise KeyError(f"unknown switch {switch_id!r}")
+        self._down_switches.add(switch_id)
+        victims = self._network.fail_node_links(switch_id)
+        for link_id in self._adjacent_link_ids(switch_id):
+            self._emit_port_status(link_id, up=False)
+        return victims
+
+    def recover_switch(self, switch_id: str) -> None:
+        """Bring a failed switch (and its links) back into service."""
+        if switch_id not in self._switches:
+            raise KeyError(f"unknown switch {switch_id!r}")
+        self._down_switches.discard(switch_id)
+        self._network.restore_node_links(switch_id)
+        for link_id in self._adjacent_link_ids(switch_id):
+            self._emit_port_status(link_id, up=True)
+
+    def fail_host(self, host_id: str) -> List[Flow]:
+        """Fail a host's access links (both directions), aborting its flows."""
+        return self._network.fail_node_links(host_id)
+
+    def recover_host(self, host_id: str) -> None:
+        """Restore a host's access links."""
+        self._network.restore_node_links(host_id)
+
+    def _adjacent_link_ids(self, node_id: str) -> List[str]:
+        topo = self._network.topology
+        return sorted(
+            link_id
+            for link_id, link in topo.links.items()
+            if link.src == node_id or link.dst == node_id
+        )
+
+    def link_is_up(self, link_id: str) -> bool:
+        return self._network.link_is_up(link_id)
+
+    def switch_is_up(self, switch_id: str) -> bool:
+        return switch_id not in self._down_switches
+
+    def path_is_up(self, path: Path) -> bool:
+        """True when every link on the path (and every switch it crosses)
+        is currently in service."""
+        if not self._network.path_is_up(path):
+            return False
+        for link_id in path.link_ids:
+            link = self._network.topology.links[link_id]
+            for node in (link.src, link.dst):
+                if node in self._down_switches:
+                    return False
+        return True
+
     # ------------------------------------------------------------------
     # Statistics
     # ------------------------------------------------------------------
 
     def query_port_stats(self, switch_id: str) -> PortStatsReply:
         """Fetch cumulative per-port byte counters from one switch."""
+        if switch_id in self._down_switches:
+            raise SwitchUnreachableError(f"switch {switch_id!r} is unreachable")
         switch = self._switches[switch_id]
         return PortStatsReply(
             switch_id=switch_id,
@@ -198,6 +318,8 @@ class Controller:
 
     def query_flow_stats(self, switch_id: str) -> FlowStatsReply:
         """Fetch counters for flows sourced at hosts on one edge switch."""
+        if switch_id in self._down_switches:
+            raise SwitchUnreachableError(f"switch {switch_id!r} is unreachable")
         switch = self._switches[switch_id]
         return FlowStatsReply(
             switch_id=switch_id,

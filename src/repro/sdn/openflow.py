@@ -41,7 +41,8 @@ class FlowRemoved:
 
     Emitted when a data transfer completes (or is torn down); the
     Flowserver uses these to drop its tracked-flow state immediately
-    instead of waiting for the next stats poll.
+    instead of waiting for the next stats poll.  ``aborted`` marks removals
+    caused by a link/switch failure rather than a completed transfer.
     """
 
     flow_id: str
@@ -49,6 +50,20 @@ class FlowRemoved:
     dst: str
     bytes_sent: float
     duration: float
+    aborted: bool = False
+
+
+@dataclass(frozen=True)
+class PortStatus:
+    """Switch-to-controller notification that a port changed state.
+
+    The controller emits one per directed link when a link or switch
+    fails/recovers, mirroring OpenFlow's OFPT_PORT_STATUS message.
+    """
+
+    switch_id: str
+    link_id: str
+    up: bool
 
 
 @dataclass(frozen=True)

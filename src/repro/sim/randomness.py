@@ -13,6 +13,13 @@ import hashlib
 import random
 from typing import Dict
 
+#: Canonical stream name for fault injection.  Fault plans draw all of
+#: their randomness (target choice, event spacing) from this stream and
+#: nothing else, so enabling faults never perturbs the arrival, placement,
+#: popularity, locality or ECMP streams — the determinism guarantee of
+#: DESIGN §6 extends to chaos experiments.
+FAULTS_STREAM = "faults"
+
 
 class RandomStreams:
     """A family of named, independently seeded random generators.
@@ -38,6 +45,10 @@ class RandomStreams:
         stream = random.Random(child_seed)
         self._streams[name] = stream
         return stream
+
+    def faults(self) -> random.Random:
+        """The dedicated fault-injection stream (see :data:`FAULTS_STREAM`)."""
+        return self.stream(FAULTS_STREAM)
 
     def fork(self, name: str) -> "RandomStreams":
         """Derive a child family, e.g. one per simulation replication."""

@@ -1,0 +1,96 @@
+"""Dedicated coverage for ``Controller.verify_tables_consistent``.
+
+The checker is the controller's audit of its own dataplane programming:
+every active flow must have an entry on every switch along its path, and
+no switch may hold entries for flows the controller no longer tracks.
+"""
+
+import pytest
+
+from repro.net import FlowNetwork, RoutingTable, three_tier
+from repro.sdn import Controller
+from repro.sim import EventLoop
+
+GB = 8e9
+
+
+@pytest.fixture()
+def env():
+    topo = three_tier()
+    loop = EventLoop()
+    net = FlowNetwork(loop, topo)
+    table = RoutingTable(topo)
+    controller = Controller(net)
+    return loop, net, table, controller
+
+
+def _switch_hops(net, path):
+    return [
+        net.topology.links[lid].src
+        for lid in path.link_ids
+        if net.topology.links[lid].src in net.topology.switches
+    ]
+
+
+def test_empty_controller_is_consistent(env):
+    _, _, _, ctl = env
+    assert ctl.verify_tables_consistent() == []
+
+
+def test_installed_paths_are_consistent(env):
+    _, net, table, ctl = env
+    for i, dst in enumerate(["pod1-rack0-h0", "pod2-rack3-h1", "pod0-rack0-h1"]):
+        ctl.install_path(f"f{i}", table.paths("pod0-rack0-h0", dst)[0], GB)
+    assert ctl.verify_tables_consistent() == []
+
+
+def test_missing_entry_is_reported(env):
+    _, net, table, ctl = env
+    path = table.paths("pod0-rack0-h0", "pod1-rack0-h0")[0]
+    ctl.install_path("f", path, GB)
+    victim = _switch_hops(net, path)[2]
+    assert ctl.flow_table(victim).remove("f")
+
+    problems = ctl.verify_tables_consistent()
+    assert len(problems) == 1
+    assert "f" in problems[0] and victim in problems[0]
+
+
+def test_stale_entry_is_reported(env):
+    loop, net, table, ctl = env
+    path = table.paths("pod0-rack0-h0", "pod0-rack0-h1")[0]
+    edge = _switch_hops(net, path)[0]
+    ctl.flow_table(edge).install("ghost", path.link_ids[-1], loop.now)
+
+    problems = ctl.verify_tables_consistent()
+    assert len(problems) == 1
+    assert "ghost" in problems[0] and "stale" in problems[0]
+
+
+def test_uninstall_restores_consistency(env):
+    _, _, table, ctl = env
+    path = table.paths("pod0-rack0-h0", "pod3-rack3-h3")[0]
+    ctl.install_path("f", path, GB)
+    ctl.uninstall_path("f")
+    assert ctl.verify_tables_consistent() == []
+
+
+def test_consistent_after_link_failure_cleanup(env):
+    """A link failure aborts flows through the controller; the audit must
+    come back clean afterwards (no dangling table entries)."""
+    loop, net, table, ctl = env
+
+    aborted = []
+    ctl.start_transfer(
+        "f",
+        table.paths("pod0-rack0-h0", "pod1-rack0-h0")[0],
+        100 * GB,
+        on_abort=lambda flow, exc: aborted.append(flow.flow_id),
+    )
+    loop.run(until=0.01)
+    path = table.paths("pod0-rack0-h0", "pod1-rack0-h0")[0]
+    ctl.fail_link(path.link_ids[1])
+    loop.run(until=0.02)
+
+    assert aborted == ["f"]
+    assert ctl.verify_tables_consistent() == []
