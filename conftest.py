@@ -1,0 +1,8 @@
+"""Root pytest configuration.
+
+Loads the SimSanitizer plugin so ``pytest --simsan`` (or the
+``REPRO_SIMSAN=1`` environment variable) arms runtime invariant checking
+for the whole test session.  See DESIGN.md "Determinism contract".
+"""
+
+pytest_plugins = ["repro.analysis.pytest_plugin"]

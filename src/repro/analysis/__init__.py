@@ -1,0 +1,45 @@
+"""Static and runtime determinism analysis (simlint + SimSanitizer).
+
+The reproduction's headline guarantee is bit-identical determinism: the
+fig4/fig8 fingerprints must survive every PR.  This package enforces that
+contract from two sides:
+
+* :mod:`repro.analysis.simlint` — an AST-based linter (stdlib ``ast``
+  only) with project-specific rules:
+
+  - **DET001** wall-clock reads (``time.time``/``time.monotonic``/
+    ``datetime.now``) outside the sanctioned clock seam;
+  - **DET002** use of the shared ``random`` module, or RNG construction
+    that bypasses :class:`repro.sim.randomness.RandomStreams`;
+  - **DET003** iteration over unordered ``set`` objects where iteration
+    order can leak into results;
+  - **DET004** float ``==``/``!=`` on rates/costs/shares;
+  - **RACE001** sim-process generators that cache shared mutable state
+    before a ``yield`` and keep reading it after resuming.
+
+* :mod:`repro.analysis.simsan` — **SimSanitizer**, an opt-in runtime
+  invariant checker (``REPRO_SIMSAN=1`` or ``pytest --simsan``) that
+  asserts cross-layer invariants after every engine event.
+
+Run the linter with ``python -m repro.analysis src`` (exit code 1 on any
+finding); see DESIGN.md §"Determinism contract".
+"""
+
+from __future__ import annotations
+
+from repro.analysis.config import SimlintConfig, load_config
+from repro.analysis.simlint import Finding, lint_paths, lint_source
+from repro.analysis.simsan import SimSanError, SimSanitizer, arm, disarm, get_active
+
+__all__ = [
+    "Finding",
+    "SimlintConfig",
+    "SimSanError",
+    "SimSanitizer",
+    "arm",
+    "disarm",
+    "get_active",
+    "lint_paths",
+    "lint_source",
+    "load_config",
+]

@@ -1,0 +1,109 @@
+"""``python -m repro.analysis`` — run simlint over files or directories.
+
+Exit status 0 when clean, 1 when any finding is reported, 2 on usage
+errors.  The CI ``static-analysis`` job runs ``python -m repro.analysis
+src`` and fails the build on any violation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.analysis.config import load_config
+from repro.analysis.simlint import lint_paths, rule_inventory
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="simlint: determinism/invariant static analysis",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        metavar="PATH",
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        metavar="RULES",
+        help="comma-separated rule ids to run (default: all enabled)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--config",
+        default=None,
+        metavar="PYPROJECT",
+        help="pyproject.toml to read [tool.simlint] from",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule inventory and exit"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule, description in sorted(rule_inventory().items()):
+            print(f"{rule}  {description}")
+        return 0
+
+    config = load_config(Path(args.config) if args.config else None)
+    if args.select:
+        selected = {r.strip() for r in args.select.split(",") if r.strip()}
+        unknown = selected - set(rule_inventory())
+        if unknown:
+            print(f"unknown rule(s): {', '.join(sorted(unknown))}", file=sys.stderr)
+            return 2
+        config = type(config)(
+            enabled_rules=frozenset(selected),
+            wallclock_allow=config.wallclock_allow,
+            rng_allow=config.rng_allow,
+            race_attrs=config.race_attrs,
+            float_name_pattern=config.float_name_pattern,
+        )
+
+    targets: List[Path] = []
+    for raw in args.paths:
+        path = Path(raw)
+        if not path.exists():
+            print(f"no such path: {raw}", file=sys.stderr)
+            return 2
+        targets.append(path)
+
+    findings = lint_paths(targets, config)
+    if args.format == "json":
+        print(
+            json.dumps(
+                [
+                    {
+                        "rule": f.rule,
+                        "path": f.path,
+                        "line": f.line,
+                        "col": f.col,
+                        "message": f.message,
+                    }
+                    for f in findings
+                ],
+                indent=2,
+            )
+        )
+    else:
+        for finding in findings:
+            print(finding.render())
+        if findings:
+            print(f"simlint: {len(findings)} finding(s)", file=sys.stderr)
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

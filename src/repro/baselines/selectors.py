@@ -12,7 +12,7 @@
 
 from __future__ import annotations
 
-import random
+from random import Random
 from typing import List, Sequence
 
 from repro.baselines.monitor import EndHostMonitor
@@ -29,7 +29,7 @@ class ReplicaSelector:
 class NearestReplicaSelector(ReplicaSelector):
     """Static nearest-replica selection (HDFS rack awareness)."""
 
-    def __init__(self, topology: Topology, rng: random.Random):
+    def __init__(self, topology: Topology, rng: Random):
         self._topo = topology
         self._rng = rng
 
@@ -60,7 +60,7 @@ class SinbadRSelector(ReplicaSelector):
         self,
         topology: Topology,
         monitor: EndHostMonitor,
-        rng: random.Random,
+        rng: Random,
     ):
         self._topo = topology
         self._monitor = monitor

@@ -17,7 +17,7 @@ per-flow shares, exactly the gap the co-designed placement closes.
 
 from __future__ import annotations
 
-import random
+from random import Random
 from typing import List, Optional, Sequence
 
 from repro.baselines.monitor import EndHostMonitor
@@ -33,7 +33,7 @@ class SinbadWritePlacement(PlacementPolicy):
         self,
         topology: Topology,
         monitor: EndHostMonitor,
-        rng: random.Random,
+        rng: Random,
         candidates_per_tier: int = 8,
     ):
         if candidates_per_tier < 1:

@@ -235,7 +235,7 @@ class PaxosReplica:
             [self._applied_up_to]
             + [int(r["applied_up_to"]) for r in promises]
             + [s for s in pending]
-            + [s for s in decided]
+            + sorted(decided)
         )
         self._next_slot = max_known + 1
         # Fill holes (slots no promise reported and we have not seen chosen)

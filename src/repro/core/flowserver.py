@@ -26,6 +26,8 @@ from repro.net.ecmp import EcmpHasher
 from repro.net.routing import Path, RoutingTable
 from repro.sdn.controller import Controller
 from repro.sdn.openflow import FlowRemoved
+from repro.sim import instrument
+from repro.sim.engine import EventLoop
 
 
 @dataclass(frozen=True)
@@ -159,6 +161,12 @@ class Flowserver:
         self.decision_log: Deque[DecisionRecord] = deque(
             maxlen=self.config.decision_log_size or None
         )
+        instrument.notify_component("flowserver", self)
+
+    @property
+    def loop(self) -> EventLoop:
+        """The simulated clock driving this Flowserver (SimSanitizer seam)."""
+        return self._loop
 
     # ------------------------------------------------------------------
     # RPC surface

@@ -22,7 +22,7 @@ observed yet.
 from __future__ import annotations
 
 import math
-import random
+from random import Random
 from typing import List, Optional, Sequence
 
 from repro.core.cost import estimate_path_share
@@ -49,7 +49,7 @@ class FlowserverWritePlacement(PlacementPolicy):
         topology: Topology,
         routing: RoutingTable,
         flowserver: Flowserver,
-        rng: random.Random,
+        rng: Random,
         candidates_per_tier: int = 8,
     ):
         if candidates_per_tier < 1:

@@ -15,10 +15,10 @@ from __future__ import annotations
 
 import argparse
 import sys
-import time
 
 from repro.experiments import figures, report
 from repro.experiments.claims import check_headline_claims, render_claims
+from repro.experiments.wallclock import Stopwatch
 
 TARGETS = ("fig2", "fig4", "fig5", "fig6", "fig7", "fig8", "multireplica", "claims")
 
@@ -82,7 +82,7 @@ def main(argv=None) -> int:
         parser.error(f"unknown target(s) {unknown}; expected {TARGETS}")
 
     sections = []
-    started = time.time()
+    stopwatch = Stopwatch()
     kwargs = dict(seed=args.seed, num_jobs=args.jobs, num_files=args.files)
     for target in targets:
         if target == "fig2":
@@ -126,7 +126,7 @@ def main(argv=None) -> int:
             )
         print(sections[-1], end="\n\n", flush=True)
 
-    footer = f"(regenerated in {time.time() - started:.1f}s wall time)"
+    footer = f"(regenerated in {stopwatch.elapsed():.1f}s wall time)"
     print(footer)
     if args.out:
         with open(args.out, "w") as f:

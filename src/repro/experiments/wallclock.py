@@ -1,0 +1,36 @@
+"""The one sanctioned wall-clock seam (simlint DET001 allowlist).
+
+Simulation code must never read the host clock — simulated time comes
+from :class:`repro.sim.engine.EventLoop` so traces are bit-identical
+across runs.  The only legitimate consumer of real time is operator-facing
+progress reporting (e.g. the "regenerated in 12.3s" footer printed by
+``python -m repro.experiments``), and all of it funnels through this
+module so the linter can allow exactly one file.
+
+Keep this module free of simulation logic: anything imported from here
+must be safe to stub out in tests without touching determinism.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+def wall_seconds() -> float:
+    """Seconds from an arbitrary epoch, for elapsed-time reporting only.
+
+    Monotonic so report footers never go negative when the system clock
+    steps.  Never feed this into the simulation: use ``EventLoop.now``.
+    """
+    return time.monotonic()
+
+
+class Stopwatch:
+    """Measures elapsed real time for progress/report footers."""
+
+    def __init__(self) -> None:
+        self._started = wall_seconds()
+
+    def elapsed(self) -> float:
+        """Wall seconds since construction."""
+        return wall_seconds() - self._started

@@ -11,7 +11,7 @@ the same storm, and disabling faults leaves every other stream untouched.
 
 from __future__ import annotations
 
-import random
+from random import Random
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
@@ -140,7 +140,7 @@ class StormSpec:
 
 def build_storm(
     topology,
-    rng: random.Random,
+    rng: Random,
     spec: Optional[StormSpec] = None,
 ) -> FaultPlan:
     """Draw a seeded storm over ``topology`` from the faults RNG stream.

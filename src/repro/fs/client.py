@@ -11,7 +11,7 @@ size so appended tails are discovered without another nameserver round-trip.
 
 from __future__ import annotations
 
-import random
+from random import Random
 from dataclasses import dataclass
 from typing import Dict, Generator, List, Optional, Sequence, Tuple
 
@@ -104,7 +104,7 @@ class MayflowerClient:
         metadata_ttl: float = 60.0,
         max_read_attempts: int = 3,
         retry: Optional[RetryPolicy] = None,
-        retry_rng: Optional[random.Random] = None,
+        retry_rng: Optional[Random] = None,
     ):
         self.host_id = host_id
         self._loop = loop

@@ -19,7 +19,7 @@ substrate:
 
 from __future__ import annotations
 
-import random
+from random import Random
 from typing import Dict, Generator, List, Optional, Sequence, Set
 
 from repro.fs.chunks import FileMetadata
@@ -127,7 +127,7 @@ class ReplicaManager:
         nameserver_endpoint: str,
         membership: MembershipTracker,
         topology: Topology,
-        rng: random.Random,
+        rng: Random,
         check_interval: float = 10.0,
         heartbeat_timeout: float = 15.0,
     ):

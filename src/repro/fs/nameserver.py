@@ -15,8 +15,8 @@ at the dataservers (:meth:`Nameserver.rebuild_from_dataservers`).
 from __future__ import annotations
 
 import json
-import random
 from pathlib import Path
+from random import Random
 from typing import Generator, List, Optional
 
 from repro.fs.chunks import (
@@ -31,6 +31,7 @@ from repro.fs.errors import (
 )
 from repro.fs.placement import PlacementPolicy
 from repro.kvstore import KVStore, KVStoreConfig
+from repro.sim.randomness import seeded_rng
 
 _FILE_PREFIX = "file/"
 
@@ -53,12 +54,12 @@ class Nameserver:
         self,
         db_directory: Path,
         placement: PlacementPolicy,
-        rng: Optional[random.Random] = None,
+        rng: Optional[Random] = None,
     ):
         # The paper runs LevelDB with fsync off to speed up creates/deletes.
         self._db = KVStore(Path(db_directory), KVStoreConfig(sync_wal=False))
         self._placement = placement
-        self._rng = rng or random.Random(0)
+        self._rng = rng or seeded_rng(0)
         self.creates = 0
         self.deletes = 0
         self.lookups = 0

@@ -16,7 +16,7 @@ Two concrete policies:
 
 from __future__ import annotations
 
-import random
+from random import Random
 from typing import List, Optional, Sequence
 
 from repro.fs.errors import InvalidRequestError
@@ -36,7 +36,7 @@ class PlacementPolicy:
         raise NotImplementedError
 
 
-def _choice(rng: random.Random, items: Sequence[str]) -> str:
+def _choice(rng: Random, items: Sequence[str]) -> str:
     if not items:
         raise InvalidRequestError("no eligible host for replica placement")
     return items[rng.randrange(len(items))]
@@ -50,7 +50,7 @@ class PaperEvalPlacement(PlacementPolicy):
     other randomly selected racks").
     """
 
-    def __init__(self, topology: Topology, rng: random.Random):
+    def __init__(self, topology: Topology, rng: Random):
         self._topo = topology
         self._rng = rng
         self._hosts = sorted(topology.hosts)
@@ -102,7 +102,7 @@ class PaperEvalPlacement(PlacementPolicy):
 class HdfsRackAwarePlacement(PlacementPolicy):
     """§5 placement: two replicas share the primary's rack, the rest spread."""
 
-    def __init__(self, topology: Topology, rng: random.Random):
+    def __init__(self, topology: Topology, rng: Random):
         self._topo = topology
         self._rng = rng
         self._hosts = sorted(topology.hosts)

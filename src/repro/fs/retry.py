@@ -10,7 +10,7 @@ bit-identical to a client with no policy at all.
 
 from __future__ import annotations
 
-import random
+from random import Random
 from dataclasses import dataclass
 from typing import Optional
 
@@ -61,7 +61,7 @@ class RetryPolicy:
         if not 0.0 <= self.jitter <= 1.0:
             raise ValueError(f"jitter must be in [0, 1], got {self.jitter}")
 
-    def backoff(self, retry_index: int, rng: Optional[random.Random] = None) -> float:
+    def backoff(self, retry_index: int, rng: Optional[Random] = None) -> float:
         """Delay before retry ``retry_index`` (0 = first retry)."""
         if retry_index < 0:
             raise ValueError(f"retry_index must be >= 0, got {retry_index}")

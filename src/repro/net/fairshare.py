@@ -15,7 +15,7 @@ Rates are bits/second; capacities must be positive.
 from __future__ import annotations
 
 import math
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
 
 def single_link_fair_allocation(
@@ -98,7 +98,7 @@ def max_min_fair_rates(
     demands = dict(flow_demands) if flow_demands else {}
 
     remaining: Dict[str, float] = {}
-    link_members: Dict[str, set] = {}
+    link_members: Dict[str, Set[str]] = {}
     for flow_id, links in unfrozen.items():
         for link_id in links:
             if link_id not in remaining:
@@ -146,7 +146,7 @@ def max_min_fair_rates(
             break
 
         # Freeze every unfrozen flow on (one of) the bottleneck links.
-        to_freeze = set()
+        to_freeze: Set[str] = set()
         for link_id, members in link_members.items():
             if members and remaining[link_id] / len(members) <= bottleneck_share * (1 + 1e-12):
                 to_freeze.update(members)

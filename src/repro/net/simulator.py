@@ -20,6 +20,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.net.routing import Path
 from repro.net.topology import Topology
+from repro.sim import instrument
 from repro.sim.engine import EventHandle, EventLoop
 
 # Flows whose remaining volume falls below this many bits are complete.
@@ -157,6 +158,7 @@ class FlowNetwork:
         self._completion_event: Optional[EventHandle] = None
         self.completed_flows = 0
         self.aborted_flows = 0
+        instrument.notify_component("network", self)
 
     @property
     def loop(self) -> EventLoop:

@@ -20,6 +20,7 @@ from repro.rpc.errors import (
 )
 from repro.sim.engine import EventLoop
 from repro.sim.process import Process, Signal
+from repro.sim.randomness import seeded_rng
 
 
 @dataclass(frozen=True)
@@ -67,9 +68,7 @@ class RpcFabric:
         #: Uniform extra delay in [0, jitter] added per message, drawn from
         #: a seeded stream so runs stay reproducible.
         self.jitter = jitter
-        import random as _random
-
-        self._jitter_rng = _random.Random(seed ^ 0x52504A)
+        self._jitter_rng = seeded_rng(seed ^ 0x52504A)
         self._services: Dict[Tuple[str, str], Any] = {}
         self._down: Set[str] = set()
         self._partitions: Set[frozenset] = set()

@@ -19,6 +19,7 @@ from typing import Callable, Dict, List, Optional, Set
 from repro.net.routing import Path
 from repro.net.simulator import Flow, FlowAborted, FlowNetwork
 from repro.net.switch import Switch, build_switches
+from repro.sim import instrument
 from repro.sdn.flowtable import FlowTable
 from repro.sdn.openflow import FlowRemoved, FlowStatsReply, PortStatsReply, PortStatus
 
@@ -58,6 +59,7 @@ class Controller:
         self._port_status_listeners: List[Callable[[PortStatus], None]] = []
         self._down_switches: Set[str] = set()
         self.flows_aborted = 0
+        instrument.notify_component("controller", self)
 
     # ------------------------------------------------------------------
     # Topology / switch access

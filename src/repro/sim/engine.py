@@ -11,7 +11,9 @@ from __future__ import annotations
 import heapq
 import itertools
 import math
-from typing import Any, Callable, Optional
+from typing import Any, Callable, Optional, Tuple
+
+from repro.sim import instrument
 
 
 class SimulationError(RuntimeError):
@@ -31,7 +33,9 @@ class EventHandle:
 
     __slots__ = ("time", "seq", "callback", "args", "cancelled")
 
-    def __init__(self, time: float, seq: int, callback: Callable[..., Any], args: tuple):
+    def __init__(
+        self, time: float, seq: int, callback: Callable[..., Any], args: Tuple[Any, ...]
+    ):
         self.time = time
         self.seq = seq
         self.callback: Optional[Callable[..., Any]] = callback
@@ -127,6 +131,9 @@ class EventLoop:
             self._events_processed += 1
             assert callback is not None
             callback(*args)
+            # SimSanitizer seam: re-verify simulation invariants after the
+            # event settles (no-op unless a sanitizer is armed).
+            instrument.post_event(self)
             return True
         return False
 

@@ -1,0 +1,65 @@
+"""Dependency-free instrumentation seams for the SimSanitizer.
+
+The simulation layers must not import :mod:`repro.analysis` (it imports
+them), so the runtime sanitizer plugs in through this tiny registry
+instead: components announce themselves via :func:`notify_component`, and
+the event loop reports every fired event via :func:`post_event`.  Both are
+single ``is None`` checks when no sanitizer is armed, so fault-free
+production runs pay essentially nothing.
+
+``REPRO_SIMSAN=1`` in the environment auto-arms the sanitizer at import
+time (the opt-in documented in README §Determinism contract); under
+pytest the ``--simsan`` flag does the same through the plugin in
+:mod:`repro.analysis.pytest_plugin`.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Callable, Optional
+
+#: Called as ``hook(kind, component)`` when a sanitized component is
+#: constructed.  Kinds: ``"network"``, ``"controller"``, ``"flowserver"``,
+#: ``"streams"``.
+_component_hook: Optional[Callable[[str, Any], None]] = None
+#: Called as ``hook(loop)`` after every event the loop fires.
+_post_event_hook: Optional[Callable[[Any], None]] = None
+
+
+def set_hooks(
+    component: Callable[[str, Any], None], post_event: Callable[[Any], None]
+) -> None:
+    """Install sanitizer hooks (one sanitizer at a time)."""
+    global _component_hook, _post_event_hook
+    _component_hook = component
+    _post_event_hook = post_event
+
+
+def clear_hooks() -> None:
+    global _component_hook, _post_event_hook
+    _component_hook = None
+    _post_event_hook = None
+
+
+def hooks_armed() -> bool:
+    return _post_event_hook is not None
+
+
+def notify_component(kind: str, component: Any) -> None:
+    if _component_hook is not None:
+        _component_hook(kind, component)
+
+
+def post_event(loop: Any) -> None:
+    if _post_event_hook is not None:
+        _post_event_hook(loop)
+
+
+def _auto_arm_from_env() -> None:
+    if os.environ.get("REPRO_SIMSAN", "") not in ("", "0"):
+        from repro.analysis import simsan  # deferred: avoids an import cycle
+
+        simsan.arm()
+
+
+_auto_arm_from_env()

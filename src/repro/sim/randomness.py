@@ -5,13 +5,22 @@ popularity, client locality, replica placement, ECMP hashing) that stay
 stable when one concern changes.  :class:`RandomStreams` derives an
 independent ``random.Random`` per name from a single root seed, so adding a
 draw to one stream never perturbs another.
+
+This module is the **only** place the reproduction is allowed to construct
+raw generators (simlint rule DET002): every other module receives an
+injected stream, or derives an isolated generator through
+:func:`seeded_rng`.  Generators are :class:`CountingRandom` instances — a
+drop-in ``random.Random`` producing bit-identical sequences — whose draw
+counter lets the SimSanitizer verify stream isolation at runtime.
 """
 
 from __future__ import annotations
 
 import hashlib
 import random
-from typing import Dict
+from typing import Dict, List, Tuple
+
+from repro.sim import instrument
 
 #: Canonical stream name for fault injection.  Fault plans draw all of
 #: their randomness (target choice, event spacing) from this stream and
@@ -19,6 +28,40 @@ from typing import Dict
 #: popularity, locality or ECMP streams — the determinism guarantee of
 #: DESIGN §6 extends to chaos experiments.
 FAULTS_STREAM = "faults"
+
+
+class CountingRandom(random.Random):
+    """``random.Random`` that counts its draws.
+
+    Overriding both ``random()`` and ``getrandbits()`` keeps CPython's
+    ``_randbelow`` on the default getrandbits path, so sequences are
+    bit-identical to a plain ``random.Random`` with the same seed.  The
+    ``draws`` counter is the accounting the SimSanitizer uses to prove a
+    stream's state only ever changes through its own draws.
+    """
+
+    def __init__(self, seed: int) -> None:
+        self.draws = 0
+        super().__init__(seed)
+
+    def random(self) -> float:
+        self.draws += 1
+        return super().random()
+
+    def getrandbits(self, k: int) -> int:
+        self.draws += 1
+        return super().getrandbits(k)
+
+
+def seeded_rng(seed: int) -> CountingRandom:
+    """The blessed constructor for an isolated, explicitly seeded RNG.
+
+    Components that cannot take a :class:`RandomStreams` stream (e.g. an
+    RPC fabric built before the streams exist) derive their generator
+    here so DET002 can keep ``random.Random(...)`` construction banned
+    everywhere else.  Same seed, same sequence as ``random.Random(seed)``.
+    """
+    return CountingRandom(seed)
 
 
 class RandomStreams:
@@ -33,7 +76,8 @@ class RandomStreams:
 
     def __init__(self, seed: int):
         self.seed = int(seed)
-        self._streams: Dict[str, random.Random] = {}
+        self._streams: Dict[str, CountingRandom] = {}
+        instrument.notify_component("streams", self)
 
     def stream(self, name: str) -> random.Random:
         """Return (creating on first use) the stream for ``name``."""
@@ -42,7 +86,7 @@ class RandomStreams:
             return existing
         digest = hashlib.sha256(f"{self.seed}:{name}".encode("utf-8")).digest()
         child_seed = int.from_bytes(digest[:8], "big")
-        stream = random.Random(child_seed)
+        stream = CountingRandom(child_seed)
         self._streams[name] = stream
         return stream
 
@@ -54,6 +98,16 @@ class RandomStreams:
         """Derive a child family, e.g. one per simulation replication."""
         digest = hashlib.sha256(f"{self.seed}/fork/{name}".encode("utf-8")).digest()
         return RandomStreams(int.from_bytes(digest[:8], "big"))
+
+    def stream_snapshot(self) -> List[Tuple[str, random.Random, int]]:
+        """(name, generator, draw count) for every materialized stream.
+
+        Consumed by the SimSanitizer's stream-isolation check; sorted so
+        the sweep itself is deterministic.
+        """
+        return [
+            (name, rng, rng.draws) for name, rng in sorted(self._streams.items())
+        ]
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"RandomStreams(seed={self.seed})"

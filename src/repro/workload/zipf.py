@@ -9,7 +9,7 @@ precomputed CDF.
 from __future__ import annotations
 
 import bisect
-import random
+from random import Random
 from typing import List, Sequence
 
 
@@ -32,11 +32,11 @@ class ZipfSampler:
             self._cdf.append(acc)
         self._cdf[-1] = 1.0  # guard against rounding
 
-    def sample(self, rng: random.Random) -> int:
+    def sample(self, rng: Random) -> int:
         """Draw one rank."""
         return bisect.bisect_left(self._cdf, rng.random())
 
-    def sample_many(self, rng: random.Random, count: int) -> List[int]:
+    def sample_many(self, rng: Random, count: int) -> List[int]:
         return [self.sample(rng) for _ in range(count)]
 
     def probability(self, rank: int) -> float:

@@ -1,0 +1,76 @@
+"""End-to-end tests for ``python -m repro.analysis``."""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.analysis.cli import main
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+DIRTY = """\
+import random
+import time
+
+started = time.time()
+"""
+
+
+def write(tmp_path, name, text):
+    path = tmp_path / name
+    path.write_text(text)
+    return path
+
+
+def test_clean_file_exits_zero(tmp_path, capsys):
+    path = write(tmp_path, "clean.py", "x = 1\n")
+    assert main([str(path)]) == 0
+    assert capsys.readouterr().out == ""
+
+
+def test_findings_exit_one_with_locations(tmp_path, capsys):
+    path = write(tmp_path, "dirty.py", DIRTY)
+    assert main([str(path)]) == 1
+    captured = capsys.readouterr()
+    assert f"{path}:1:0: DET002" in captured.out
+    assert f"{path}:4:10: DET001" in captured.out
+    assert "2 finding(s)" in captured.err
+
+
+def test_json_format(tmp_path, capsys):
+    path = write(tmp_path, "dirty.py", DIRTY)
+    assert main(["--format", "json", str(path)]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert {f["rule"] for f in payload} == {"DET001", "DET002"}
+    assert all(set(f) == {"rule", "path", "line", "col", "message"} for f in payload)
+
+
+def test_select_restricts_rules(tmp_path, capsys):
+    path = write(tmp_path, "dirty.py", DIRTY)
+    assert main(["--select", "DET001", str(path)]) == 1
+    assert "DET002" not in capsys.readouterr().out
+
+
+def test_unknown_rule_and_missing_path_are_usage_errors(tmp_path, capsys):
+    path = write(tmp_path, "clean.py", "x = 1\n")
+    assert main(["--select", "NOPE123", str(path)]) == 2
+    assert main([str(tmp_path / "missing.py")]) == 2
+
+
+def test_list_rules(capsys):
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule in ("DET001", "DET002", "DET003", "DET004", "RACE001"):
+        assert rule in out
+
+
+def test_module_entry_point_runs():
+    result = subprocess.run(
+        [sys.executable, "-m", "repro.analysis", "src"],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+        env={"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin"},
+    )
+    assert result.returncode == 0, result.stdout + result.stderr

@@ -1,0 +1,438 @@
+"""Fixture tests for every simlint rule.
+
+Each known-bad snippet pins the exact rule id *and* line number the rule
+must report, and each has a known-good twin that must lint clean — the
+rules are only useful if they are precise enough to gate CI without
+suppression sprawl.
+"""
+
+import textwrap
+
+from repro.analysis.config import SimlintConfig
+from repro.analysis.simlint import lint_source
+
+
+def lint(snippet, path="repro/example.py", config=None):
+    return lint_source(textwrap.dedent(snippet), path, config)
+
+
+def hits(snippet, rule, **kwargs):
+    return [f for f in lint(snippet, **kwargs) if f.rule == rule]
+
+
+# ----------------------------------------------------------------------
+# DET001 — wall-clock reads
+# ----------------------------------------------------------------------
+
+
+class TestDet001:
+    def test_time_time_flagged_with_line(self):
+        findings = hits(
+            """\
+            import time
+
+
+            def stamp():
+                return time.time()
+            """,
+            "DET001",
+        )
+        assert [(f.line, f.rule) for f in findings] == [(5, "DET001")]
+        assert "time.time" in findings[0].message
+
+    def test_time_monotonic_and_from_import(self):
+        findings = hits(
+            """\
+            import time
+            from time import monotonic as mono
+
+            a = time.monotonic()
+            b = mono()
+            """,
+            "DET001",
+        )
+        assert [f.line for f in findings] == [4, 5]
+
+    def test_datetime_now_flagged(self):
+        findings = hits(
+            """\
+            import datetime
+            from datetime import datetime as dt
+
+            x = datetime.datetime.now()
+            y = dt.utcnow()
+            """,
+            "DET001",
+        )
+        assert [f.line for f in findings] == [4, 5]
+
+    def test_allowlisted_clock_seam_is_clean(self):
+        findings = hits(
+            """\
+            import time
+
+            now = time.monotonic()
+            """,
+            "DET001",
+            path="src/repro/experiments/wallclock.py",
+        )
+        assert findings == []
+
+    def test_simulated_clock_is_clean(self):
+        findings = hits(
+            """\
+            def stamp(loop):
+                return loop.now
+            """,
+            "DET001",
+        )
+        assert findings == []
+
+    def test_time_sleep_not_flagged(self):
+        # sleep is blocking, not a clock read; out of DET001's scope.
+        assert hits("import time\ntime.sleep(1)\n", "DET001") == []
+
+
+# ----------------------------------------------------------------------
+# DET002 — shared `random` module / raw RNG construction
+# ----------------------------------------------------------------------
+
+
+class TestDet002:
+    def test_import_random_flagged_at_import_line(self):
+        findings = hits(
+            """\
+            import random
+
+
+            def roll(rng):
+                return rng.random()
+            """,
+            "DET002",
+        )
+        assert [(f.line, f.rule) for f in findings] == [(1, "DET002")]
+        assert "import random" in findings[0].message
+
+    def test_module_draw_functions_flagged(self):
+        findings = hits(
+            """\
+            from random import choice
+
+            winner = choice(["a", "b"])
+            """,
+            "DET002",
+        )
+        assert [f.line for f in findings] == [1]
+
+    def test_seeded_random_construction_flagged(self):
+        findings = hits(
+            """\
+            from random import Random
+
+            rng = Random(42)
+            """,
+            "DET002",
+        )
+        assert [f.line for f in findings] == [3]
+        assert "bypasses RandomStreams" in findings[0].message
+
+    def test_unseeded_random_gets_nondeterminism_message(self):
+        findings = hits(
+            """\
+            from random import Random
+
+            rng = Random()
+            """,
+            "DET002",
+        )
+        assert [f.line for f in findings] == [3]
+        assert "nondeterministic" in findings[0].message
+
+    def test_annotation_only_from_import_is_clean(self):
+        findings = hits(
+            """\
+            from random import Random
+
+
+            def pick(rng: Random) -> float:
+                return rng.random()
+            """,
+            "DET002",
+        )
+        assert findings == []
+
+    def test_randomness_module_is_allowlisted(self):
+        findings = hits(
+            """\
+            import random
+
+            rng = random.Random(7)
+            """,
+            "DET002",
+            path="src/repro/sim/randomness.py",
+        )
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# DET003 — set-order leaks
+# ----------------------------------------------------------------------
+
+
+class TestDet003:
+    def test_for_over_set_variable_flagged(self):
+        findings = hits(
+            """\
+            def hosts(topo):
+                seen = set(topo.hosts)
+                out = []
+                for h in seen:
+                    out.append(h)
+                return out
+            """,
+            "DET003",
+        )
+        assert [(f.line, f.rule) for f in findings] == [(4, "DET003")]
+        assert "'seen'" in findings[0].message
+
+    def test_list_of_set_literal_and_comprehension_flagged(self):
+        findings = hits(
+            """\
+            a = list({1, 2, 3})
+            b = [x for x in {"p", "q"}]
+            """,
+            "DET003",
+        )
+        assert [f.line for f in findings] == [1, 2]
+
+    def test_sorted_set_is_clean(self):
+        findings = hits(
+            """\
+            def hosts(topo):
+                seen = set(topo.hosts)
+                return [h for h in sorted(seen)]
+            """,
+            "DET003",
+        )
+        assert findings == []
+
+    def test_membership_and_set_algebra_are_clean(self):
+        findings = hits(
+            """\
+            def diff(xs, ys):
+                left = set(xs)
+                right = set(ys)
+                both = left & right
+                if "a" in both:
+                    return len(left - right)
+                return 0
+            """,
+            "DET003",
+        )
+        assert findings == []
+
+    def test_rebinding_to_list_untracks(self):
+        findings = hits(
+            """\
+            items = set(range(4))
+            items = sorted(items)
+            for item in items:
+                print(item)
+            """,
+            "DET003",
+        )
+        assert findings == []
+
+    def test_suppression_comment(self):
+        findings = hits(
+            """\
+            for x in {1, 2}:  # simlint: ignore[DET003] order irrelevant: summed
+                print(x)
+            """,
+            "DET003",
+        )
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# DET004 — float equality on rate/cost quantities
+# ----------------------------------------------------------------------
+
+
+class TestDet004:
+    def test_rate_compared_to_float_literal(self):
+        findings = hits(
+            """\
+            def check(flow):
+                if flow.rate_bps == 0.5:
+                    return True
+                return False
+            """,
+            "DET004",
+        )
+        assert [(f.line, f.rule) for f in findings] == [(2, "DET004")]
+
+    def test_two_rate_names_compared(self):
+        findings = hits(
+            """\
+            def same(a_cost, b_cost):
+                return a_cost != b_cost
+            """,
+            "DET004",
+        )
+        assert [f.line for f in findings] == [2]
+
+    def test_isclose_and_epsilon_are_clean(self):
+        findings = hits(
+            """\
+            import math
+
+
+            def same(a_cost, b_cost):
+                return math.isclose(a_cost, b_cost) or abs(a_cost - b_cost) < 1e-9
+            """,
+            "DET004",
+        )
+        assert findings == []
+
+    def test_inf_sentinel_comparison_is_clean(self):
+        findings = hits(
+            """\
+            import math
+
+
+            def unbounded(rate_bps):
+                return rate_bps == math.inf or rate_bps == float("inf")
+            """,
+            "DET004",
+        )
+        assert findings == []
+
+    def test_non_rate_floats_unflagged(self):
+        # Only rate/cost-ish identifiers are in scope; generic floats are
+        # the province of a general-purpose linter.
+        findings = hits("ok = version == 3\n", "DET004")
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# RACE001 — stale shared state across yields
+# ----------------------------------------------------------------------
+
+
+class TestRace001:
+    def test_cached_flows_read_after_yield(self):
+        findings = hits(
+            """\
+            def poll(self):
+                snapshot = self.state.flows
+                yield self.wait(1.0)
+                for fid in sorted(snapshot):
+                    print(fid)
+            """,
+            "RACE001",
+        )
+        assert [(f.line, f.rule) for f in findings] == [(4, "RACE001")]
+        assert "snapshot" in findings[0].message
+        assert ".flows" in findings[0].message
+
+    def test_refetch_after_yield_is_clean(self):
+        findings = hits(
+            """\
+            def poll(self):
+                yield self.wait(1.0)
+                snapshot = self.state.flows
+                for fid in sorted(snapshot):
+                    print(fid)
+            """,
+            "RACE001",
+        )
+        assert findings == []
+
+    def test_pre_loop_cache_caught_on_second_iteration(self):
+        findings = hits(
+            """\
+            def drain(self):
+                pending = self.net.rates
+                while True:
+                    total = sum(pending.values())
+                    yield self.wait(total)
+            """,
+            "RACE001",
+        )
+        assert [f.line for f in findings] == [4]
+
+    def test_rebinding_inside_loop_is_clean(self):
+        findings = hits(
+            """\
+            def drain(self):
+                while True:
+                    pending = self.net.rates
+                    total = sum(pending.values())
+                    yield self.wait(total)
+            """,
+            "RACE001",
+        )
+        assert findings == []
+
+    def test_non_generator_function_ignored(self):
+        findings = hits(
+            """\
+            def summarize(self):
+                snapshot = self.state.flows
+                return sorted(snapshot)
+            """,
+            "RACE001",
+        )
+        assert findings == []
+
+    def test_snapshot_via_call_is_clean(self):
+        # A call result is a point-in-time copy by convention, not a live
+        # reference into shared state.
+        findings = hits(
+            """\
+            def poll(self):
+                rates = dict(self.net.ground_truth_rates())
+                yield self.wait(1.0)
+                return sum(rates.values())
+            """,
+            "RACE001",
+        )
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# Cross-cutting machinery
+# ----------------------------------------------------------------------
+
+
+class TestMachinery:
+    def test_blanket_suppression_hides_all_rules(self):
+        findings = lint("import random  # simlint: ignore\n")
+        assert findings == []
+
+    def test_selective_suppression_keeps_other_rules(self):
+        findings = lint("import random  # simlint: ignore[DET003]\n")
+        assert [f.rule for f in findings] == ["DET002"]
+
+    def test_syntax_error_reported_not_raised(self):
+        findings = lint("def broken(:\n")
+        assert [f.rule for f in findings] == ["E999"]
+
+    def test_disabled_rule_not_run(self):
+        config = SimlintConfig(enabled_rules=frozenset({"DET001"}))
+        assert lint("import random\n", config=config) == []
+
+    def test_findings_sorted_and_rendered(self):
+        findings = lint(
+            """\
+            import random
+            import time
+
+            t = time.time()
+            """
+        )
+        assert [f.rule for f in findings] == ["DET002", "DET001"]
+        rendered = findings[0].render()
+        assert rendered.startswith("repro/example.py:1:")
+        assert "DET002" in rendered
