@@ -1,0 +1,78 @@
+"""Telemetry overhead guard: disabled emit sites cost (almost) nothing.
+
+Every instrumented hot path guards with a single ``instrument.TELEMETRY is
+None`` check, so a run without a session installed must stay within noise
+of the pre-telemetry baseline — and must allocate zero trace events.  The
+enabled path is measured too, to keep its cost visible (it records tens of
+events per job; a few-x slowdown there would flag a regression like
+per-event rendering).
+"""
+
+import pytest
+
+import repro.telemetry as telemetry
+from repro.experiments.runner import run_scheme_on_workload
+from repro.net import three_tier
+from repro.sim import instrument
+from repro.workload import LocalityDistribution, WorkloadConfig, generate_workload
+
+from conftest import BENCH_SEED
+
+
+@pytest.fixture(scope="module")
+def fig4_style_workload():
+    topo = three_tier()
+    config = WorkloadConfig(
+        num_files=40,
+        num_jobs=80,
+        arrival_rate_per_server=0.07,
+        locality=LocalityDistribution(0.5, 0.3, 0.2),
+    )
+    return generate_workload(topo, config, seed=BENCH_SEED)
+
+
+def test_disabled_telemetry_overhead(benchmark, fig4_style_workload):
+    """Fig. 4-sized run with no session installed: the seed-baseline path."""
+    assert instrument.TELEMETRY is None
+
+    def run():
+        return run_scheme_on_workload(
+            "mayflower", fig4_style_workload, seed=BENCH_SEED
+        )
+
+    records = benchmark(run)
+    assert len(records) == 80
+    # Nothing was recorded anywhere: the global stayed unset.
+    assert instrument.TELEMETRY is None
+
+
+def test_enabled_telemetry_overhead(benchmark, fig4_style_workload):
+    """Same run with a session installed; keeps the enabled cost visible."""
+
+    def run():
+        with telemetry.session() as tel:
+            run_scheme_on_workload(
+                "mayflower", fig4_style_workload, seed=BENCH_SEED
+            )
+        return tel
+
+    tel = benchmark(run)
+    assert len(tel.tracer) > 0
+    assert tel.metrics.value("flowserver_requests_total") > 0
+
+
+def test_disabled_run_results_match_traced_run(fig4_style_workload):
+    """The fingerprint is identical with telemetry on, off, and re-off."""
+    baseline = run_scheme_on_workload(
+        "mayflower", fig4_style_workload, seed=BENCH_SEED
+    )
+    with telemetry.session():
+        traced = run_scheme_on_workload(
+            "mayflower", fig4_style_workload, seed=BENCH_SEED
+        )
+    again = run_scheme_on_workload(
+        "mayflower", fig4_style_workload, seed=BENCH_SEED
+    )
+    fingerprint = [(r.job_id, r.completion_time) for r in baseline]
+    assert [(r.job_id, r.completion_time) for r in traced] == fingerprint
+    assert [(r.job_id, r.completion_time) for r in again] == fingerprint

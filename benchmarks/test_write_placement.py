@@ -117,7 +117,7 @@ def _run(placement_kind: str, num_writes: int, seed: int):
         if loop.now > 50000:
             raise RuntimeError("write workload saturated")
         loop.step()
-    flowserver.collector.stop()
+    flowserver.close()
     if monitor is not None:
         monitor.stop()
     return summarize(durations)

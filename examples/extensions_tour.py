@@ -50,7 +50,7 @@ def demo_write_placement():
     print(f"placement chose: {replicas}")
     print(f"  -> primary avoided the congested hosts: "
           f"{replicas[0] == 'pod0-rack1-h0'}\n")
-    flowserver.collector.stop()
+    flowserver.close()
 
 
 def demo_replicated_nameserver():

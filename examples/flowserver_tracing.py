@@ -56,7 +56,7 @@ def main():
         f"{flowserver.local_reads} local, {flowserver.split_reads} split; "
         f"{flowserver.tracked_flow_count()} flows currently tracked"
     )
-    flowserver.collector.stop()
+    flowserver.close()
 
 
 if __name__ == "__main__":

@@ -20,6 +20,10 @@ Violations raise :class:`SimSanError` (an ``AssertionError`` subclass) at
 the exact event that broke the invariant, which is worth far more than a
 wrong fingerprint three layers later.  Registries hold weak references,
 so arming the sanitizer never extends component lifetimes.
+
+The sanitizer is one subscriber on the :mod:`repro.sim.instrument` event
+bus; the telemetry layer (:mod:`repro.telemetry`) is another, so both can
+be armed in the same run without knowing about each other.
 """
 
 from __future__ import annotations

@@ -319,7 +319,7 @@ class Cluster:
     def shutdown(self) -> None:
         """Graceful shutdown (flushes the nameserver database(s))."""
         if self.flowserver is not None:
-            self.flowserver.collector.stop()
+            self.flowserver.close()
         if self.replica_manager is not None:
             self.replica_manager.stop()
         for sender in self._heartbeat_senders:

@@ -20,6 +20,8 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
+from repro.sim import instrument
+
 
 @dataclass
 class TrackedFlow:
@@ -114,6 +116,10 @@ class FlowStateTable:
         flow.bw_bps = bw_bps
         flow.freeze_until = now + flow.expected_completion()
         flow.freezed = True
+        tel = instrument.TELEMETRY
+        if tel is not None and math.isfinite(flow.freeze_until):
+            tel.instant(now, "flow.freeze", "freeze", flow=flow_id,
+                        bw_bps=bw_bps, until=flow.freeze_until)
 
     def update_bw_from_stats(self, flow_id: str, bw_bps: float, now: float) -> bool:
         """``UPDATEBW``: apply a measured bandwidth unless frozen.
@@ -125,8 +131,14 @@ class FlowStateTable:
         if flow is None:
             return False
         if not flow.freezed or now > flow.freeze_until:
+            was_frozen = flow.freezed
             flow.bw_bps = bw_bps
             flow.freezed = False
+            if was_frozen:
+                tel = instrument.TELEMETRY
+                if tel is not None:
+                    tel.instant(now, "flow.unfreeze", "freeze", flow=flow_id,
+                                bw_bps=bw_bps)
             return True
         return False
 

@@ -16,7 +16,8 @@ from __future__ import annotations
 import itertools
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, Dict, List, Optional, Sequence
+from types import TracebackType
+from typing import Deque, Dict, List, Optional, Sequence, Type
 
 from repro.core.flow_state import FlowStateTable, TrackedFlow
 from repro.core.multireplica import MultiReplicaPlanner, SubflowPlan
@@ -102,6 +103,10 @@ class FlowserverConfig:
     degraded_ecmp_salt: int = 0x5AFE
 
 
+#: Histogram buckets for candidate-paths-per-selection (counts, not time).
+_CANDIDATE_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0)
+
+
 @dataclass(frozen=True)
 class DecisionRecord:
     """One traced replica/path selection."""
@@ -167,6 +172,31 @@ class Flowserver:
     def loop(self) -> EventLoop:
         """The simulated clock driving this Flowserver (SimSanitizer seam)."""
         return self._loop
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Stop background polling so the event loop can drain to idle.
+
+        The Flowserver stays queryable after closing (counters, decision
+        log, tracked state); only its periodic timer is torn down.
+        Idempotent — prefer ``with Flowserver(...) as fs:`` over pairing
+        manual ``close()`` calls with every early return.
+        """
+        self.collector.stop()
+
+    def __enter__(self) -> "Flowserver":
+        return self
+
+    def __exit__(
+        self,
+        exc_type: Optional[Type[BaseException]],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     # RPC surface
@@ -332,8 +362,13 @@ class Flowserver:
 
     def _note_recovered(self) -> None:
         if self._degraded_since is not None:
-            self.recovery_times.append(self._loop.now - self._degraded_since)
+            episode = self._loop.now - self._degraded_since
+            self.recovery_times.append(episode)
             self._degraded_since = None
+            tel = instrument.TELEMETRY
+            if tel is not None:
+                tel.instant(self._loop.now, "flowserver.degraded.recover",
+                            "degraded", episode_seconds=episode)
 
     def _degraded_select(
         self,
@@ -351,9 +386,15 @@ class Flowserver:
         to existing flows because the model is not to be trusted right now.
         """
         self.degraded_selections += 1
+        tel = instrument.TELEMETRY
+        if tel is not None:
+            tel.count("flowserver_degraded_selections_total")
         if self._degraded_since is None:
             self._degraded_since = self._loop.now
             self.degraded_entries += 1
+            if tel is not None:
+                tel.instant(self._loop.now, "flowserver.degraded.enter",
+                            "degraded", request=request_id, pool=len(pool))
         # The pool spans several replicas, but ECMP hashes within one
         # (src, dst) pair — spread replicas round-robin, then hash among
         # that replica's equal-cost paths.
@@ -441,20 +482,52 @@ class Flowserver:
         est_bw: Sequence[float],
         split: bool,
     ) -> None:
-        if self.config.decision_log_size <= 0:
+        """Trace one selection decision — built once, fanned out twice.
+
+        The record feeds the bounded operator log (when
+        ``decision_log_size`` > 0) and the telemetry layer (when a session
+        is installed); with neither consumer it is never constructed.
+        """
+        tel = instrument.TELEMETRY
+        if self.config.decision_log_size <= 0 and tel is None:
             return
-        self.decision_log.append(
-            DecisionRecord(
-                time=self._loop.now,
-                request_id=request_id,
-                client=client,
-                replicas=tuple(replicas),
-                candidates_evaluated=candidates_evaluated,
-                chosen=tuple(chosen),
-                est_bw_bps=tuple(est_bw),
-                split=split,
-            )
+        record = DecisionRecord(
+            time=self._loop.now,
+            request_id=request_id,
+            client=client,
+            replicas=tuple(replicas),
+            candidates_evaluated=candidates_evaluated,
+            chosen=tuple(chosen),
+            est_bw_bps=tuple(est_bw),
+            split=split,
         )
+        if self.config.decision_log_size > 0:
+            self.decision_log.append(record)
+        if tel is not None:
+            kind = (
+                "split" if split
+                else ("local" if record.chosen == ("local",) else "single")
+            )
+            tel.instant(
+                record.time,
+                "flowserver.select",
+                "decision",
+                request=request_id,
+                client=client,
+                chosen=list(record.chosen),
+                kind=kind,
+                candidates=candidates_evaluated,
+            )
+            tel.count("flowserver_requests_total")
+            if kind == "local":
+                tel.count("flowserver_local_reads_total")
+            elif split:
+                tel.count("flowserver_split_reads_total")
+            tel.observe(
+                "flowserver_candidates_evaluated",
+                float(candidates_evaluated),
+                buckets=_CANDIDATE_BUCKETS,
+            )
 
     def _next_flow_id(self) -> str:
         return f"mf{next(self._flow_seq)}"

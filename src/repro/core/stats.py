@@ -19,6 +19,7 @@ from typing import Dict, Optional, Set
 
 from repro.core.flow_state import FlowStateTable
 from repro.sdn.controller import Controller, SwitchUnreachableError
+from repro.sim import instrument
 from repro.sim.engine import EventLoop, PeriodicTimer
 
 
@@ -104,6 +105,8 @@ class FlowStatsCollector:
         now = self._loop.now
         seen = set()
         polled_ok: Set[str] = set()
+        applied_before = self.measurements_applied
+        suppressed_before = self.measurements_suppressed
         if self.suppress_polls:
             self.polls_lost += 1
         for switch_id in self._controller.edge_switch_ids():
@@ -176,6 +179,20 @@ class FlowStatsCollector:
             if flow_id not in self._state:
                 del self._unseen_polls[flow_id]
         self.polls_completed += 1
+        tel = instrument.TELEMETRY
+        if tel is not None:
+            tel.instant(
+                now, "collector.poll", "poll",
+                tracked=len(self._state), seen=len(seen),
+                lost=self.suppress_polls,
+            )
+            tel.count("collector_polls_total")
+            tel.metrics.counter("collector_measurements_applied_total").inc(
+                float(self.measurements_applied - applied_before)
+            )
+            tel.metrics.counter("collector_measurements_suppressed_total").inc(
+                float(self.measurements_suppressed - suppressed_before)
+            )
         # Go idle once nothing is tracked so a simulation with no pending
         # work can drain its event queue; the Flowserver restarts polling
         # when it registers the next flow.

@@ -74,12 +74,22 @@ def main(argv=None) -> int:
     parser.add_argument("--seed", type=int, default=42)
     parser.add_argument("--out", type=str, default=None,
                         help="also write the report to this file")
+    parser.add_argument("--trace", type=str, default=None, metavar="DIR",
+                        help="record a deterministic telemetry trace into DIR "
+                             "(trace.jsonl, trace.json for Perfetto, "
+                             "metrics.prom)")
     args = parser.parse_args(argv)
 
     targets = args.targets or list(TARGETS)
     unknown = [t for t in targets if t not in TARGETS]
     if unknown:
         parser.error(f"unknown target(s) {unknown}; expected {TARGETS}")
+
+    tel = None
+    if args.trace is not None:
+        import repro.telemetry as telemetry
+
+        tel = telemetry.install()
 
     sections = []
     stopwatch = Stopwatch()
@@ -131,6 +141,21 @@ def main(argv=None) -> int:
     if args.out:
         with open(args.out, "w") as f:
             f.write("\n\n".join(sections) + "\n\n" + footer + "\n")
+    if tel is not None:
+        import repro.telemetry as telemetry
+        from pathlib import Path
+
+        telemetry.uninstall()
+        trace_dir = Path(args.trace)
+        trace_dir.mkdir(parents=True, exist_ok=True)
+        telemetry.write_jsonl(tel.tracer, trace_dir / "trace.jsonl")
+        telemetry.write_chrome_trace(
+            tel.tracer, trace_dir / "trace.json", registry=tel.metrics
+        )
+        telemetry.write_prometheus(tel.metrics, trace_dir / "metrics.prom")
+        print(f"trace written to {trace_dir}/ "
+              f"({len(tel.tracer)} events; open trace.json in "
+              "https://ui.perfetto.dev)")
     return 0
 
 

@@ -189,34 +189,48 @@ def resilience_summary(
     injector=None,
     jobs_total: int = 0,
     jobs_completed: int = 0,
+    registry=None,
 ) -> ResilienceSummary:
     """Collect a :class:`ResilienceSummary` from a live cluster's parts.
 
     ``clients`` is any iterable of :class:`repro.fs.client.MayflowerClient`
     instances whose per-client retry counters should be aggregated.
+
+    The counters are read through a telemetry metrics registry of
+    callback gauges (see :func:`repro.telemetry.bind_resilience_metrics`)
+    rather than by reaching into each component, so the summary and any
+    Prometheus dump of the same run always agree.  Pass ``registry`` to
+    reuse gauges bound earlier (e.g. by a ``--trace`` session); by
+    default a throwaway registry is bound here.
     """
+    from repro.telemetry import MetricsRegistry, bind_resilience_metrics
+
     clients = list(clients)
     fs = cluster.flowserver
-    collector = fs.collector if fs is not None else None
+    if registry is None:
+        registry = MetricsRegistry()
+    if registry.get("faults_applied") is None:
+        bind_resilience_metrics(registry, cluster, clients, injector)
+
+    def count(name: str) -> int:
+        return int(registry.value(name))
+
+    ttr = registry.value("time_to_recover_seconds")
     return ResilienceSummary(
         jobs_total=jobs_total,
         jobs_completed=jobs_completed,
-        faults_applied=injector.events_applied if injector is not None else 0,
-        flows_aborted=cluster.controller.flows_aborted,
-        flows_aborted_by_faults=(
-            injector.flows_aborted_by_faults if injector is not None else 0
-        ),
-        degraded_selections=fs.degraded_selections if fs is not None else 0,
-        degraded_entries=fs.degraded_entries if fs is not None else 0,
-        unreachable_path_selections=(
-            fs.unreachable_path_selections if fs is not None else 0
-        ),
-        mean_time_to_recover=fs.time_to_recover() if fs is not None else None,
-        polls_lost=collector.polls_lost if collector is not None else 0,
-        poll_errors=collector.poll_errors if collector is not None else 0,
-        rpc_calls_timed_out=cluster.fabric.calls_timed_out,
-        read_retries=sum(c.read_retries for c in clients),
-        read_failovers=sum(c.read_failovers for c in clients),
-        read_resumptions=sum(c.read_resumptions for c in clients),
-        bytes_resumed=sum(c.bytes_resumed for c in clients),
+        faults_applied=count("faults_applied"),
+        flows_aborted=count("flows_aborted"),
+        flows_aborted_by_faults=count("flows_aborted_by_faults"),
+        degraded_selections=count("degraded_selections"),
+        degraded_entries=count("degraded_entries"),
+        unreachable_path_selections=count("unreachable_path_selections"),
+        mean_time_to_recover=None if fs is None or math.isnan(ttr) else ttr,
+        polls_lost=count("polls_lost"),
+        poll_errors=count("poll_errors"),
+        rpc_calls_timed_out=count("rpc_calls_timed_out"),
+        read_retries=count("read_retries"),
+        read_failovers=count("read_failovers"),
+        read_resumptions=count("read_resumptions"),
+        bytes_resumed=count("bytes_resumed"),
     )

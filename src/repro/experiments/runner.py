@@ -20,6 +20,7 @@ from repro.net.routing import RoutingTable
 from repro.net.simulator import FlowNetwork
 from repro.net.topology import three_tier
 from repro.sdn.controller import Controller
+from repro.sim import instrument
 from repro.sim.engine import EventLoop
 from repro.sim.randomness import RandomStreams
 from repro.workload.generator import Workload
@@ -168,6 +169,23 @@ def run_scheme_on_workload(
     env = build_environment(scheme_name, config, seed)
     loop, controller, scheme = env.loop, env.controller, env.scheme
 
+    # With a telemetry session installed (the --trace flag), sample the
+    # figure-relevant time series on this run's clock.
+    tel = instrument.TELEMETRY
+    sampler = None
+    if tel is not None:
+        from repro.telemetry import bind_standard_probes
+
+        sampler = tel.start_sampler(loop)
+        bind_standard_probes(
+            sampler,
+            network=env.network,
+            topology=env.network.topology,
+            flowserver=env.flowserver,
+        )
+        tel.instant(loop.now, "run.start", "sim", scheme=scheme_name,
+                    jobs=len(workload.jobs), seed=seed)
+
     records: List[JobRecord] = []
     outstanding: Dict[str, int] = {}
     job_info: Dict[str, tuple] = {}
@@ -231,10 +249,14 @@ def run_scheme_on_workload(
         if loop.now > config.max_sim_seconds:
             break
         loop.step()
+    if sampler is not None and tel is not None:
+        tel.instant(loop.now, "run.end", "sim", scheme=scheme_name,
+                    completed=len(records))
+        tel.stop_sampler()
     if env.monitor:
         env.monitor.stop()
     if env.flowserver:
-        env.flowserver.collector.stop()
+        env.flowserver.close()
     if env.hedera:
         env.hedera.stop()
 

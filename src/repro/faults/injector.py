@@ -15,6 +15,7 @@ from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 from repro.faults.plan import FaultEvent, FaultPlan
+from repro.sim import instrument
 
 
 @dataclass(frozen=True)
@@ -108,6 +109,11 @@ class FaultInjector:
                 detail=detail,
             )
         )
+        tel = instrument.TELEMETRY
+        if tel is not None:
+            tel.instant(self._loop.now, f"fault.{event.kind}", "fault",
+                        target=event.target, detail=detail)
+            tel.count("faults_applied_total")
 
     def _do_link_down(self, event: FaultEvent) -> str:
         victims = self._controller.fail_link(event.target)

@@ -19,6 +19,7 @@ from repro.fs.chunks import DEFAULT_CHUNK_BYTES, DEFAULT_REPLICATION, FileMetada
 from repro.fs.consistency import ConsistencyMode, replica_candidates_for_range
 from repro.fs.errors import InvalidRequestError
 from repro.fs.retry import RetryPolicy
+from repro.sim import instrument
 from repro.sim.engine import EventLoop
 from repro.sim.process import Delay, Process
 
@@ -248,46 +249,60 @@ class MayflowerClient:
         (the job completion time the paper measures).
         """
         started = self._loop.now
-        metadata = yield from self._metadata(name)
-        if length is None:
-            length = metadata.size_bytes - offset
-        if length <= 0 or offset < 0 or offset + length > metadata.size_bytes:
-            raise InvalidRequestError(
-                f"invalid read range {offset}+{length} of {name!r} "
-                f"(size {metadata.size_bytes})"
-            )
-
-        subranges = replica_candidates_for_range(
-            metadata, offset, length, self.consistency
-        )
-        all_transfers: List[PlannedTransfer] = []
-        readers: List[Process] = []
-        chunks: Dict[int, Optional[bytes]] = {}
-        reply_sizes: List[int] = []
-
-        slot = 0
-        for sub_offset, sub_length, replicas in subranges:
-            transfers = yield from self._plan_with_retry(
-                metadata, replicas, sub_length, job_id
-            )
-            covered = sum(t.size_bytes for t in transfers)
-            if covered != sub_length:
+        tel = instrument.TELEMETRY
+        read_id: Optional[str] = None
+        if tel is not None:
+            read_id = tel.next_id("read")
+            tel.begin(started, "client.read", "read", read_id,
+                      track="reads", host=self.host_id, file=name)
+        try:
+            metadata = yield from self._metadata(name)
+            if length is None:
+                length = metadata.size_bytes - offset
+            if length <= 0 or offset < 0 or offset + length > metadata.size_bytes:
                 raise InvalidRequestError(
-                    f"planner covered {covered} of {sub_length} bytes"
+                    f"invalid read range {offset}+{length} of {name!r} "
+                    f"(size {metadata.size_bytes})"
                 )
-            cursor = sub_offset
-            for transfer in transfers:
-                all_transfers.append(transfer)
-                readers.append(
-                    self._spawn_read(
-                        metadata, transfer, cursor, slot, chunks, reply_sizes, job_id
-                    )
-                )
-                cursor += transfer.size_bytes
-                slot += 1
 
-        for proc in readers:
-            yield proc
+            subranges = replica_candidates_for_range(
+                metadata, offset, length, self.consistency
+            )
+            all_transfers: List[PlannedTransfer] = []
+            readers: List[Process] = []
+            chunks: Dict[int, Optional[bytes]] = {}
+            reply_sizes: List[int] = []
+
+            slot = 0
+            for sub_offset, sub_length, replicas in subranges:
+                transfers = yield from self._plan_with_retry(
+                    metadata, replicas, sub_length, job_id
+                )
+                covered = sum(t.size_bytes for t in transfers)
+                if covered != sub_length:
+                    raise InvalidRequestError(
+                        f"planner covered {covered} of {sub_length} bytes"
+                    )
+                cursor = sub_offset
+                for transfer in transfers:
+                    all_transfers.append(transfer)
+                    readers.append(
+                        self._spawn_read(
+                            metadata, transfer, cursor, slot, chunks, reply_sizes, job_id
+                        )
+                    )
+                    cursor += transfer.size_bytes
+                    slot += 1
+
+            for proc in readers:
+                yield proc
+        except BaseException as err:
+            tel = instrument.TELEMETRY
+            if tel is not None and read_id is not None:
+                tel.end(self._loop.now, "client.read", "read", read_id,
+                        track="reads", outcome="error",
+                        error=type(err).__name__)
+            raise
 
         data = None
         if chunks and all(v is not None for v in chunks.values()):
@@ -296,6 +311,11 @@ class MayflowerClient:
         if file_size != metadata.size_bytes:
             # A concurrent append grew the file; refresh the cached size.
             self._remember(name, metadata.with_size(file_size))
+        tel = instrument.TELEMETRY
+        if tel is not None and read_id is not None:
+            tel.end(self._loop.now, "client.read", "read", read_id,
+                    track="reads", outcome="completed", length=length,
+                    transfers=len(all_transfers))
         return ReadResult(
             name=name,
             offset=offset,
@@ -333,6 +353,9 @@ class MayflowerClient:
         for round_index in range(rounds):
             if round_index > 0:
                 self.read_retries += 1
+                tel = instrument.TELEMETRY
+                if tel is not None:
+                    tel.count("client_read_retries_total")
                 delay = policy.backoff(round_index - 1, self._retry_rng)
                 if delay > 0:
                     yield Delay(delay)
@@ -382,6 +405,9 @@ class MayflowerClient:
         for attempt_index in range(attempts):
             if attempt_index > 0:
                 self.read_retries += 1
+                tel = instrument.TELEMETRY
+                if tel is not None:
+                    tel.count("client_read_retries_total")
                 delay = policy.backoff(attempt_index - 1, self._retry_rng)
                 if delay > 0:
                     yield Delay(delay)
@@ -523,6 +549,17 @@ class MayflowerClient:
                             remaining_len -= delivered
                             self.read_resumptions += 1
                             self.bytes_resumed += delivered
+                            tel = instrument.TELEMETRY
+                            if tel is not None:
+                                tel.instant(
+                                    self._loop.now, "client.read.resume",
+                                    "read", file=metadata.name,
+                                    replica=replica, bytes=delivered,
+                                )
+                                tel.count("client_read_resumptions_total")
+                                tel.metrics.counter(
+                                    "client_bytes_resumed_total"
+                                ).inc(float(delivered))
 
                     candidates = [
                         r for r in metadata.replicas if r not in down_replicas
@@ -545,9 +582,18 @@ class MayflowerClient:
                         # failure budget still bounds total attempts).
                         down_replicas.clear()
                         candidates = list(metadata.replicas)
+                    tel = instrument.TELEMETRY
                     if replica in down_replicas:
                         self.read_failovers += 1
+                        if tel is not None:
+                            tel.instant(
+                                self._loop.now, "client.read.failover",
+                                "read", file=metadata.name, replica=replica,
+                            )
+                            tel.count("client_read_failovers_total")
                     self.read_retries += 1
+                    if tel is not None:
+                        tel.count("client_read_retries_total")
                     if policy is not None:
                         delay = policy.backoff(failures - 1, self._retry_rng)
                         if delay > 0:

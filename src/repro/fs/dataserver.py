@@ -26,6 +26,7 @@ from typing import Dict, Generator, List, Optional, Tuple
 from repro.fs.chunks import FileMetadata
 from repro.fs.errors import FileNotFoundFsError, InvalidRequestError
 from repro.net.simulator import FlowAborted
+from repro.sim import instrument
 from repro.sim.engine import EventLoop
 from repro.sim.process import Signal
 
@@ -197,6 +198,12 @@ class Dataserver:
                     stored.size_bytes,
                 )
             self.appends_served += 1
+            tel = instrument.TELEMETRY
+            if tel is not None:
+                tel.instant(self._loop.now, "ds.append", "ds",
+                            host=self.host_id, file=stored.metadata.name,
+                            size=stored.size_bytes)
+                tel.count("ds_appends_served_total")
             return stored.size_bytes
         finally:
             self._release_append_lock(stored)
@@ -261,6 +268,11 @@ class Dataserver:
                 exc.data = bytes(stored.payload[offset : offset + delivered])
             raise
         self.reads_served += 1
+        tel = instrument.TELEMETRY
+        if tel is not None:
+            tel.instant(self._loop.now, "ds.read", "ds",
+                        host=self.host_id, to=to_host, bytes=length)
+            tel.count("ds_reads_served_total")
         data = None
         if stored.payload is not None:
             data = bytes(stored.payload[offset : offset + length])

@@ -424,7 +424,9 @@ class FlowNetwork:
     def link_utilization_bps(self, link_id: str) -> float:
         """Instantaneous ground-truth load on a link (sum of flow rates)."""
         link = self._topo.links[link_id]
-        return sum(self._flows[fid].rate_bps for fid in link.flows)
+        # Sorted so the float summation order (and thus the last bit of
+        # the result) is independent of the process hash seed.
+        return sum(self._flows[fid].rate_bps for fid in sorted(link.flows))
 
     def ground_truth_rates(self) -> Dict[str, float]:
         """Current max-min rate of every active flow (testing aid)."""

@@ -18,6 +18,7 @@ from repro.rpc.errors import (
     RpcTimeout,
     ServiceNotFoundError,
 )
+from repro.sim import instrument
 from repro.sim.engine import EventLoop
 from repro.sim.process import Process, Signal
 from repro.sim.randomness import seeded_rng
@@ -150,6 +151,13 @@ class RpcFabric:
         self.calls_sent += 1
         done = Signal(self._loop, name=f"rpc:{service}.{method}")
         settled = [False]
+        tel = instrument.TELEMETRY
+        call_id: Optional[str] = None
+        if tel is not None:
+            call_id = f"rpc{self.calls_sent}"
+            tel.begin(self._loop.now, f"{service}.{method}", "rpc", call_id,
+                      track="rpc", src=src, dst=dst)
+            tel.count("rpc_calls_total")
 
         def _fire(response: RpcResponse) -> None:
             # A deadline and a real response can race; first one wins and
@@ -159,6 +167,13 @@ class RpcFabric:
             settled[0] = True
             if not response.ok:
                 self.calls_failed += 1
+            tel = instrument.TELEMETRY
+            if tel is not None and call_id is not None:
+                tel.end(self._loop.now, f"{service}.{method}", "rpc", call_id,
+                        track="rpc", ok=response.ok,
+                        error=response.error)
+                if not response.ok:
+                    tel.count("rpc_calls_failed_total")
             done.fire(response)
 
         def _respond(response: RpcResponse) -> None:
@@ -244,6 +259,9 @@ class RpcFabric:
                 if settled[0]:
                     return
                 self.calls_timed_out += 1
+                tel = instrument.TELEMETRY
+                if tel is not None:
+                    tel.count("rpc_calls_timed_out_total")
                 _fire(
                     RpcResponse(
                         ok=False,

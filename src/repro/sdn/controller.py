@@ -137,6 +137,12 @@ class Controller:
         ``aborted=True`` is emitted, and ``on_abort`` (if any) runs.
         """
         self.install_path(flow_id, path, size_bits)
+        tel = instrument.TELEMETRY
+        if tel is not None:
+            tel.begin(self._loop.now, "transfer", "transfer", flow_id,
+                      track="transfers", src=path.src, dst=path.dst,
+                      size_bits=size_bits)
+            tel.count("transfers_started_total")
 
         def _finished(flow: Flow) -> None:
             self.uninstall_path(flow_id)
@@ -147,6 +153,12 @@ class Controller:
                 bytes_sent=flow.bytes_sent,
                 duration=(flow.end_time or self._loop.now) - flow.start_time,
             )
+            tel = instrument.TELEMETRY
+            if tel is not None:
+                tel.end(self._loop.now, "transfer", "transfer", flow_id,
+                        track="transfers", outcome="completed",
+                        bytes_sent=flow.bytes_sent)
+                tel.count("transfers_completed_total")
             for listener in list(self._removed_listeners):
                 listener(removed)
             if on_complete is not None:
@@ -163,6 +175,12 @@ class Controller:
                 duration=self._loop.now - flow.start_time,
                 aborted=True,
             )
+            tel = instrument.TELEMETRY
+            if tel is not None:
+                tel.end(self._loop.now, "transfer", "transfer", flow_id,
+                        track="transfers", outcome="aborted",
+                        reason=str(exc), bytes_sent=flow.bytes_sent)
+                tel.count("transfers_aborted_total")
             for listener in list(self._removed_listeners):
                 listener(removed)
             if on_abort is not None:
@@ -178,6 +196,9 @@ class Controller:
                 job_id=job_id,
             )
         except Exception:
+            if tel is not None:
+                tel.end(self._loop.now, "transfer", "transfer", flow_id,
+                        track="transfers", outcome="failed-to-start")
             self.uninstall_path(flow_id)
             raise
 
@@ -185,6 +206,11 @@ class Controller:
         """Cancel an in-flight transfer and clean up its rules."""
         self._network.cancel_flow(flow_id)
         self.uninstall_path(flow_id)
+        tel = instrument.TELEMETRY
+        if tel is not None:
+            tel.end(self._loop.now, "transfer", "transfer", flow_id,
+                    track="transfers", outcome="cancelled")
+            tel.count("transfers_aborted_total")
 
     def reroute_transfer(self, flow_id: str, new_path: Path) -> None:
         """Move an in-flight transfer to a new path, updating flow tables.
@@ -242,12 +268,19 @@ class Controller:
         """
         victims = self._network.fail_link(link_id)
         self._emit_port_status(link_id, up=False)
+        tel = instrument.TELEMETRY
+        if tel is not None:
+            tel.instant(self._loop.now, "net.link_down", "net",
+                        link=link_id, victims=len(victims))
         return victims
 
     def restore_link(self, link_id: str) -> None:
         """Bring a previously failed link back into service."""
         self._network.restore_link(link_id)
         self._emit_port_status(link_id, up=True)
+        tel = instrument.TELEMETRY
+        if tel is not None:
+            tel.instant(self._loop.now, "net.link_up", "net", link=link_id)
 
     def fail_switch(self, switch_id: str) -> List[Flow]:
         """Fail a switch: all adjacent links go down and stats requests
@@ -258,6 +291,10 @@ class Controller:
         victims = self._network.fail_node_links(switch_id)
         for link_id in self._adjacent_link_ids(switch_id):
             self._emit_port_status(link_id, up=False)
+        tel = instrument.TELEMETRY
+        if tel is not None:
+            tel.instant(self._loop.now, "net.switch_down", "net",
+                        switch=switch_id, victims=len(victims))
         return victims
 
     def recover_switch(self, switch_id: str) -> None:
@@ -268,6 +305,10 @@ class Controller:
         self._network.restore_node_links(switch_id)
         for link_id in self._adjacent_link_ids(switch_id):
             self._emit_port_status(link_id, up=True)
+        tel = instrument.TELEMETRY
+        if tel is not None:
+            tel.instant(self._loop.now, "net.switch_up", "net",
+                        switch=switch_id)
 
     def fail_host(self, host_id: str) -> List[Flow]:
         """Fail a host's access links (both directions), aborting its flows."""

@@ -71,6 +71,7 @@ class EventLoop:
         self._seq = itertools.count()
         self._running = False
         self._events_processed = 0
+        self._runs_traced = 0
 
     @property
     def now(self) -> float:
@@ -151,6 +152,13 @@ class EventLoop:
         if self._running:
             raise SimulationError("event loop is not reentrant")
         self._running = True
+        tel = instrument.TELEMETRY
+        run_id: Optional[str] = None
+        if tel is not None:
+            run_id = f"run{self._runs_traced}"
+            self._runs_traced += 1
+            tel.begin(self._now, "loop.run", "sim", run_id,
+                      pending=self.pending_events)
         try:
             fired = 0
             while True:
@@ -169,6 +177,9 @@ class EventLoop:
                 self._now = until
         finally:
             self._running = False
+            if run_id is not None and tel is not None:
+                tel.end(self._now, "loop.run", "sim", run_id,
+                        events=self._events_processed)
 
 
 class PeriodicTimer:

@@ -1,11 +1,24 @@
-"""Dependency-free instrumentation seams for the SimSanitizer.
+"""Dependency-free instrumentation bus for runtime observers.
 
-The simulation layers must not import :mod:`repro.analysis` (it imports
-them), so the runtime sanitizer plugs in through this tiny registry
-instead: components announce themselves via :func:`notify_component`, and
-the event loop reports every fired event via :func:`post_event`.  Both are
-single ``is None`` checks when no sanitizer is armed, so fault-free
-production runs pay essentially nothing.
+The simulation layers must not import :mod:`repro.analysis` or
+:mod:`repro.telemetry` (both import them), so runtime observers plug in
+through this tiny multi-subscriber bus instead:
+
+* components announce themselves via :func:`notify_component`;
+* the event loop reports every fired event via :func:`post_event`;
+* the active telemetry sink (a :class:`repro.telemetry.Telemetry`, duck
+  typed so this module stays import-free) is published as the module
+  global :data:`TELEMETRY`.
+
+Emit sites read ``instrument.TELEMETRY`` and bail on ``None``, and the
+fan-out loops below short-circuit on empty subscriber tuples, so a run
+with no observers armed pays a single ``is None``/truthiness check per
+site — fault-free production runs cost essentially nothing.
+
+The historical single-sanitizer API (:func:`set_hooks` /
+:func:`clear_hooks`) is kept as a thin shim over one dedicated
+subscription slot, so :mod:`repro.analysis.simsan` is now just one
+subscriber among many.
 
 ``REPRO_SIMSAN=1`` in the environment auto-arms the sanitizer at import
 time (the opt-in documented in README §Determinism contract); under
@@ -16,43 +29,110 @@ pytest the ``--simsan`` flag does the same through the plugin in
 from __future__ import annotations
 
 import os
-from typing import Any, Callable, Optional
+from typing import Any, Callable, Optional, Tuple
 
-#: Called as ``hook(kind, component)`` when a sanitized component is
-#: constructed.  Kinds: ``"network"``, ``"controller"``, ``"flowserver"``,
-#: ``"streams"``.
-_component_hook: Optional[Callable[[str, Any], None]] = None
-#: Called as ``hook(loop)`` after every event the loop fires.
-_post_event_hook: Optional[Callable[[Any], None]] = None
+ComponentHook = Callable[[str, Any], None]
+PostEventHook = Callable[[Any], None]
 
 
-def set_hooks(
-    component: Callable[[str, Any], None], post_event: Callable[[Any], None]
-) -> None:
-    """Install sanitizer hooks (one sanitizer at a time)."""
-    global _component_hook, _post_event_hook
-    _component_hook = component
-    _post_event_hook = post_event
+class Subscription:
+    """Handle for one bus subscriber (either hook may be ``None``)."""
+
+    __slots__ = ("component", "post_event")
+
+    def __init__(
+        self,
+        component: Optional[ComponentHook] = None,
+        post_event: Optional[PostEventHook] = None,
+    ) -> None:
+        self.component = component
+        self.post_event = post_event
+
+
+#: Subscribers, stored as immutable tuples so fan-out never observes a
+#: half-updated list.  Kinds announced today: ``"loop"``, ``"network"``,
+#: ``"controller"``, ``"flowserver"``, ``"streams"``, ``"collector"``,
+#: ``"fabric"``.
+_component_hooks: Tuple[ComponentHook, ...] = ()
+_post_event_hooks: Tuple[PostEventHook, ...] = ()
+_subscriptions: Tuple[Subscription, ...] = ()
+
+#: The active telemetry sink (``repro.telemetry.Telemetry`` duck type).
+#: Emit sites across the stack do ``tel = instrument.TELEMETRY`` followed
+#: by an ``if tel is not None`` guard; install via
+#: :func:`set_telemetry` (normally through ``repro.telemetry.install``).
+TELEMETRY: Optional[Any] = None
+
+#: The legacy single-sanitizer slot (see :func:`set_hooks`).
+_legacy: Optional[Subscription] = None
+
+
+def _rebuild() -> None:
+    global _component_hooks, _post_event_hooks
+    _component_hooks = tuple(
+        sub.component for sub in _subscriptions if sub.component is not None
+    )
+    _post_event_hooks = tuple(
+        sub.post_event for sub in _subscriptions if sub.post_event is not None
+    )
+
+
+def subscribe(
+    component: Optional[ComponentHook] = None,
+    post_event: Optional[PostEventHook] = None,
+) -> Subscription:
+    """Register an observer on the bus; returns its subscription handle."""
+    global _subscriptions
+    sub = Subscription(component, post_event)
+    _subscriptions = _subscriptions + (sub,)
+    _rebuild()
+    return sub
+
+
+def unsubscribe(sub: Subscription) -> None:
+    """Remove a subscription (idempotent)."""
+    global _subscriptions
+    _subscriptions = tuple(s for s in _subscriptions if s is not sub)
+    _rebuild()
+
+
+def set_hooks(component: ComponentHook, post_event: PostEventHook) -> None:
+    """Install the sanitizer hooks (compat shim: one dedicated slot)."""
+    global _legacy
+    if _legacy is not None:
+        unsubscribe(_legacy)
+    _legacy = subscribe(component, post_event)
 
 
 def clear_hooks() -> None:
-    global _component_hook, _post_event_hook
-    _component_hook = None
-    _post_event_hook = None
+    """Remove the sanitizer hooks installed via :func:`set_hooks`."""
+    global _legacy
+    if _legacy is not None:
+        unsubscribe(_legacy)
+        _legacy = None
 
 
 def hooks_armed() -> bool:
-    return _post_event_hook is not None
+    """Whether any post-event observer (sanitizer or other) is live."""
+    return bool(_post_event_hooks)
+
+
+def set_telemetry(sink: Optional[Any]) -> None:
+    """Publish (or clear, with ``None``) the active telemetry sink."""
+    global TELEMETRY
+    TELEMETRY = sink
 
 
 def notify_component(kind: str, component: Any) -> None:
-    if _component_hook is not None:
-        _component_hook(kind, component)
+    if _component_hooks:
+        for hook in _component_hooks:
+            hook(kind, component)
 
 
 def post_event(loop: Any) -> None:
-    if _post_event_hook is not None:
-        _post_event_hook(loop)
+    if _post_event_hooks:
+        for hook in _post_event_hooks:
+            hook(loop)
 
 
 def _auto_arm_from_env() -> None:

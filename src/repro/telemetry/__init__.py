@@ -1,0 +1,83 @@
+"""Deterministic observability for the Mayflower simulation.
+
+Everything here runs on the simulated clock: spans and events record the
+timestamps callers read off the event loop, the metrics registry mutates
+only when simulation code does, and the exporters are pure functions of
+what was recorded.  Same seed, same trace — byte for byte.
+
+Quick tour::
+
+    import repro.telemetry as telemetry
+
+    with telemetry.session() as tel:
+        run_experiment(...)               # emit sites find the session
+        telemetry.write_jsonl(tel.tracer, "trace.jsonl")
+        telemetry.write_chrome_trace(tel.tracer, "trace.json",
+                                     registry=tel.metrics)
+
+then ``python -m repro.telemetry summarize trace.jsonl`` or load
+``trace.json`` in https://ui.perfetto.dev.  See DESIGN.md §Telemetry.
+"""
+
+from repro.telemetry.bind import bind_resilience_metrics, bind_standard_probes
+from repro.telemetry.exporters import (
+    read_jsonl,
+    render_prometheus,
+    to_chrome_trace,
+    to_jsonl,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_jsonl,
+    write_prometheus,
+)
+from repro.telemetry.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricError,
+    MetricsRegistry,
+    TimeSeriesSampler,
+)
+from repro.telemetry.session import (
+    Telemetry,
+    active,
+    install,
+    session,
+    uninstall,
+)
+from repro.telemetry.tracer import (
+    TraceError,
+    TraceEvent,
+    Tracer,
+    pair_async_spans,
+)
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricError",
+    "MetricsRegistry",
+    "Telemetry",
+    "TimeSeriesSampler",
+    "TraceError",
+    "TraceEvent",
+    "Tracer",
+    "active",
+    "bind_resilience_metrics",
+    "bind_standard_probes",
+    "install",
+    "pair_async_spans",
+    "read_jsonl",
+    "render_prometheus",
+    "session",
+    "to_chrome_trace",
+    "to_jsonl",
+    "uninstall",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+    "write_jsonl",
+    "write_prometheus",
+]

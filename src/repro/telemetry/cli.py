@@ -1,0 +1,139 @@
+"""``python -m repro.telemetry`` — inspect and convert recorded traces.
+
+Subcommands::
+
+    summarize TRACE.jsonl             # event counts, categories, sim-time range
+    convert   TRACE.jsonl -o OUT.json # Chrome trace JSON for Perfetto
+    slowest   TRACE.jsonl [-n N] [--cat CAT]  # top-N async spans by duration
+
+The input is always the JSONL stream written by
+:func:`repro.telemetry.exporters.write_jsonl` (the runner's ``--trace``
+flag produces one as ``trace.jsonl``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from collections import Counter as TallyCounter
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.telemetry.exporters import read_jsonl, write_chrome_trace
+from repro.telemetry.tracer import TraceEvent, pair_async_spans
+
+
+def _load(path: str) -> List[TraceEvent]:
+    trace_path = Path(path)
+    if not trace_path.exists():
+        raise SystemExit(f"error: no such trace file: {path}")
+    return read_jsonl(trace_path)
+
+
+def cmd_summarize(args: argparse.Namespace) -> int:
+    events = _load(args.trace)
+    print(f"trace: {args.trace}")
+    print(f"events: {len(events)}")
+    if not events:
+        return 0
+    t_low = min(e.ts for e in events)
+    t_high = max(e.ts for e in events)
+    print(f"sim time range: {t_low:.6f}s .. {t_high:.6f}s "
+          f"(span {t_high - t_low:.6f}s)")
+    by_phase = TallyCounter(e.ph for e in events)
+    print("phases: " + ", ".join(
+        f"{ph}={by_phase[ph]}" for ph in sorted(by_phase)))
+    by_cat = TallyCounter(e.cat for e in events)
+    print("categories:")
+    for cat, count in sorted(by_cat.items(), key=lambda kv: (-kv[1], kv[0])):
+        print(f"  {cat:<12} {count}")
+    by_track = TallyCounter(e.track for e in events)
+    print("tracks: " + ", ".join(
+        f"{track}={by_track[track]}" for track in sorted(by_track)))
+    pairs = pair_async_spans(events)
+    if pairs:
+        durations = [end.ts - begin.ts for begin, end in pairs]
+        print(f"async spans: {len(pairs)} closed, "
+              f"mean {sum(durations) / len(durations):.6f}s, "
+              f"max {max(durations):.6f}s")
+    open_begins = len([e for e in events if e.ph == "b"]) - len(pairs)
+    if open_begins:
+        print(f"async spans left open: {open_begins}")
+    return 0
+
+
+def cmd_convert(args: argparse.Namespace) -> int:
+    events = _load(args.trace)
+    out = args.output
+    if out is None:
+        out = str(Path(args.trace).with_suffix(".json"))
+    write_chrome_trace(events, out, process_name=args.process_name)
+    print(f"wrote {out} ({len(events)} events) — "
+          "open in https://ui.perfetto.dev or chrome://tracing")
+    return 0
+
+
+def cmd_slowest(args: argparse.Namespace) -> int:
+    events = _load(args.trace)
+    pairs = pair_async_spans(events)
+    if args.cat is not None:
+        pairs = [(b, e) for b, e in pairs if b.cat == args.cat]
+    if not pairs:
+        print("no closed async spans" +
+              (f" in category {args.cat!r}" if args.cat else ""))
+        return 0
+    ranked = sorted(
+        pairs, key=lambda pair: (-(pair[1].ts - pair[0].ts), pair[0].ts)
+    )[: args.count]
+    width = max(len(b.name) for b, _ in ranked)
+    print(f"{'span':<{width}}  {'cat':<10} {'id':<12} "
+          f"{'start':>12} {'duration':>12}")
+    for begin, end in ranked:
+        span_id = begin.id if begin.id is not None else "-"
+        print(f"{begin.name:<{width}}  {begin.cat:<10} {span_id:<12} "
+              f"{begin.ts:>12.6f} {end.ts - begin.ts:>12.6f}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.telemetry",
+        description="Inspect and convert deterministic simulation traces.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_sum = sub.add_parser("summarize", help="event counts and time range")
+    p_sum.add_argument("trace", help="JSONL trace file")
+    p_sum.set_defaults(func=cmd_summarize)
+
+    p_conv = sub.add_parser("convert", help="JSONL -> Chrome trace JSON")
+    p_conv.add_argument("trace", help="JSONL trace file")
+    p_conv.add_argument("-o", "--output", default=None,
+                        help="output path (default: input with .json suffix)")
+    p_conv.add_argument("--process-name", default="mayflower-sim")
+    p_conv.set_defaults(func=cmd_convert)
+
+    p_slow = sub.add_parser("slowest", help="top-N async spans by duration")
+    p_slow.add_argument("trace", help="JSONL trace file")
+    p_slow.add_argument("-n", "--count", type=int, default=10)
+    p_slow.add_argument("--cat", default=None,
+                        help="restrict to one category (e.g. transfer, read)")
+    p_slow.set_defaults(func=cmd_slowest)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(list(argv) if argv is not None else sys.argv[1:])
+    try:
+        result = args.func(args)
+    except BrokenPipeError:
+        # Output piped into e.g. `head` which exited early; not an error.
+        # Point stdout at devnull so the interpreter's exit-time flush
+        # doesn't raise a second time.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+    assert isinstance(result, int)
+    return result

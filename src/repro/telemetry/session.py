@@ -1,0 +1,165 @@
+"""The :class:`Telemetry` facade and the process-wide install point.
+
+A telemetry session bundles one :class:`~repro.telemetry.tracer.Tracer`
+and one :class:`~repro.telemetry.metrics.MetricsRegistry` and publishes
+itself through :data:`repro.sim.instrument.TELEMETRY`.  Emit sites across
+the stack read that global and guard with a single ``is None`` check, so
+an uninstalled session costs nothing on the hot paths.
+
+The facade also offers one-call conveniences the emit sites use so each
+site stays a two-liner::
+
+    tel = instrument.TELEMETRY
+    if tel is not None:
+        tel.instant(now, "fault.link_down", "fault", target=link_id)
+
+Use :func:`install`/:func:`uninstall` (or the :func:`session` context
+manager, which tests prefer) to arm and disarm.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import ContextManager, Iterator, Mapping, Optional, Sequence
+
+from repro.sim import instrument
+from repro.sim.engine import EventLoop
+
+from repro.telemetry.metrics import (
+    DEFAULT_BUCKETS,
+    Histogram,
+    MetricsRegistry,
+    TimeSeriesSampler,
+)
+from repro.telemetry.tracer import Clock, Tracer
+
+
+class Telemetry:
+    """One observability session: a tracer plus a metrics registry."""
+
+    def __init__(
+        self,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.tracer = tracer if tracer is not None else Tracer()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._sampler: Optional[TimeSeriesSampler] = None
+
+    # ------------------------------------------------------------------
+    # Tracer delegation (the emit-site surface)
+    # ------------------------------------------------------------------
+
+    def instant(self, ts: float, name: str, cat: str, track: str = "sim",
+                **args: object) -> None:
+        self.tracer.instant(ts, name, cat, track, **args)
+
+    def begin(self, ts: float, name: str, cat: str, span_id: str,
+              track: str = "sim", **args: object) -> None:
+        self.tracer.begin(ts, name, cat, span_id, track, **args)
+
+    def end(self, ts: float, name: str, cat: str, span_id: str,
+            track: str = "sim", **args: object) -> None:
+        self.tracer.end(ts, name, cat, span_id, track, **args)
+
+    def span(self, clock: Clock, name: str, cat: str, track: str = "sim",
+             **args: object) -> ContextManager[None]:
+        return self.tracer.span(clock, name, cat, track, **args)
+
+    def next_id(self, prefix: str) -> str:
+        return self.tracer.next_id(prefix)
+
+    # ------------------------------------------------------------------
+    # Metrics conveniences
+    # ------------------------------------------------------------------
+
+    def count(self, name: str, amount: float = 1.0,
+              labels: Optional[Mapping[str, str]] = None) -> None:
+        """Increment (lazily creating) a counter."""
+        self.metrics.counter(name, labels=labels).inc(amount)
+
+    def gauge_set(self, name: str, value: float,
+                  labels: Optional[Mapping[str, str]] = None) -> None:
+        self.metrics.gauge(name, labels=labels).set(value)
+
+    def observe(self, name: str, value: float,
+                buckets: Sequence[float] = DEFAULT_BUCKETS,
+                labels: Optional[Mapping[str, str]] = None) -> Histogram:
+        """Record into (lazily creating) a histogram."""
+        histogram = self.metrics.histogram(name, labels=labels, buckets=buckets)
+        histogram.observe(value)
+        return histogram
+
+    # ------------------------------------------------------------------
+    # Periodic sampling
+    # ------------------------------------------------------------------
+
+    def start_sampler(self, loop: EventLoop,
+                      interval: float = 1.0) -> TimeSeriesSampler:
+        """Create (or restart) the session's periodic probe sampler."""
+        if self._sampler is not None:
+            self._sampler.stop()
+        self._sampler = TimeSeriesSampler(
+            loop, interval=interval, tracer=self.tracer, registry=self.metrics
+        )
+        self._sampler.start()
+        return self._sampler
+
+    @property
+    def sampler(self) -> Optional[TimeSeriesSampler]:
+        return self._sampler
+
+    def stop_sampler(self) -> None:
+        if self._sampler is not None:
+            self._sampler.stop()
+
+    def close(self) -> None:
+        """Stop timers; keeps recorded events/metrics readable."""
+        self.stop_sampler()
+
+
+# ----------------------------------------------------------------------
+# Process-wide install point
+# ----------------------------------------------------------------------
+
+
+def install(telemetry: Optional[Telemetry] = None) -> Telemetry:
+    """Arm a telemetry session (creating one if needed) and return it.
+
+    One session at a time: installing over a live session replaces it
+    (the old session stays readable, its sampler is stopped).
+    """
+    previous = active()
+    if previous is not None:
+        previous.close()
+    session_obj = telemetry if telemetry is not None else Telemetry()
+    instrument.set_telemetry(session_obj)
+    return session_obj
+
+
+def uninstall() -> Optional[Telemetry]:
+    """Disarm the active session (idempotent); returns it for inspection."""
+    session_obj = active()
+    if session_obj is not None:
+        session_obj.close()
+    instrument.set_telemetry(None)
+    return session_obj
+
+
+def active() -> Optional[Telemetry]:
+    """The installed session, if any (``None`` for foreign sinks)."""
+    sink = instrument.TELEMETRY
+    return sink if isinstance(sink, Telemetry) else None
+
+
+@contextmanager
+def session(telemetry: Optional[Telemetry] = None) -> Iterator[Telemetry]:
+    """``with telemetry.session() as tel: ...`` — arm, run, disarm."""
+    session_obj = install(telemetry)
+    try:
+        yield session_obj
+    finally:
+        if instrument.TELEMETRY is session_obj:
+            uninstall()
+        else:  # replaced mid-session; still stop our timers
+            session_obj.close()

@@ -1,0 +1,215 @@
+"""Deterministic spans and events on the simulated clock.
+
+Every timestamp a :class:`Tracer` records comes from the caller (who reads
+it off an :class:`~repro.sim.engine.EventLoop`), never from the host
+clock, so two runs with the same seed produce byte-identical traces.
+
+Three event shapes cover the whole taxonomy:
+
+* **instants** (``ph="i"``) — a point in simulated time (a selection
+  decision, a fault firing, a poll cycle, a freeze transition);
+* **sync spans** (``ph="B"``/``"E"``) — a lexically scoped region that
+  runs inside one engine event and never yields (``with tracer.span(...)``;
+  nesting is enforced per track);
+* **async spans** (``ph="b"``/``"e"``) — a region that crosses engine
+  events (a flow transfer, an RPC round trip, a client read), correlated
+  by ``(cat, id)`` exactly as Chrome trace events are.
+
+Counter samples (``ph="C"``) carry a dict of named series for the
+time-series panes in Perfetto.
+"""
+
+from __future__ import annotations
+
+import itertools
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Mapping, Optional, Protocol, Tuple
+
+#: The Chrome trace-event phases this tracer emits.
+PHASES = ("i", "B", "E", "b", "e", "C")
+
+
+class Clock(Protocol):
+    """Anything with a ``now`` in simulated seconds (an ``EventLoop``)."""
+
+    @property
+    def now(self) -> float: ...
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded event (immutable, JSON-ready)."""
+
+    ts: float
+    ph: str
+    cat: str
+    name: str
+    track: str
+    id: Optional[str] = None
+    args: Optional[Mapping[str, object]] = None
+
+    def to_json_dict(self) -> Dict[str, object]:
+        """A plain dict with deterministic content (for the exporters)."""
+        out: Dict[str, object] = {
+            "ts": self.ts,
+            "ph": self.ph,
+            "cat": self.cat,
+            "name": self.name,
+            "track": self.track,
+        }
+        if self.id is not None:
+            out["id"] = self.id
+        if self.args:
+            out["args"] = dict(self.args)
+        return out
+
+
+class TraceError(RuntimeError):
+    """Misuse of the tracer (unbalanced sync spans, bad phase)."""
+
+
+@dataclass
+class _OpenSpan:
+    name: str
+    cat: str
+    track: str
+
+
+class Tracer:
+    """An append-only, in-memory event buffer on the sim clock.
+
+    The tracer itself draws no randomness and reads no clock: callers
+    supply every timestamp, so recording is exactly as deterministic as
+    the simulation that drives it.
+    """
+
+    def __init__(self) -> None:
+        self.events: List[TraceEvent] = []
+        #: Per-track stack of open sync spans (nesting enforcement).
+        self._open: Dict[str, List[_OpenSpan]] = {}
+        self._id_seqs: Dict[str, "itertools.count[int]"] = {}
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+
+    def instant(
+        self, ts: float, name: str, cat: str, track: str = "sim", **args: object
+    ) -> None:
+        """Record a point event."""
+        self.events.append(
+            TraceEvent(ts=ts, ph="i", cat=cat, name=name, track=track,
+                       args=args or None)
+        )
+
+    def counter(
+        self, ts: float, name: str, values: Mapping[str, float], track: str = "metrics"
+    ) -> None:
+        """Record a counter sample (one dict of named series)."""
+        self.events.append(
+            TraceEvent(ts=ts, ph="C", cat="metric", name=name, track=track,
+                       args=dict(values))
+        )
+
+    def begin(
+        self,
+        ts: float,
+        name: str,
+        cat: str,
+        span_id: str,
+        track: str = "sim",
+        **args: object,
+    ) -> None:
+        """Open an async span; pair with :meth:`end` via ``(cat, span_id)``."""
+        self.events.append(
+            TraceEvent(ts=ts, ph="b", cat=cat, name=name, track=track,
+                       id=span_id, args=args or None)
+        )
+
+    def end(
+        self,
+        ts: float,
+        name: str,
+        cat: str,
+        span_id: str,
+        track: str = "sim",
+        **args: object,
+    ) -> None:
+        """Close the async span opened with the same ``(cat, span_id)``."""
+        self.events.append(
+            TraceEvent(ts=ts, ph="e", cat=cat, name=name, track=track,
+                       id=span_id, args=args or None)
+        )
+
+    @contextmanager
+    def span(
+        self, clock: Clock, name: str, cat: str, track: str = "sim", **args: object
+    ) -> Iterator[None]:
+        """A lexically scoped sync span (must not yield to the engine).
+
+        Nesting is enforced per track: spans close strictly LIFO, so the
+        B/E pairs always form a well-formed tree in the exported trace.
+        """
+        self.events.append(
+            TraceEvent(ts=clock.now, ph="B", cat=cat, name=name, track=track,
+                       args=args or None)
+        )
+        stack = self._open.setdefault(track, [])
+        stack.append(_OpenSpan(name=name, cat=cat, track=track))
+        try:
+            yield
+        finally:
+            if not stack or stack[-1].name != name:
+                raise TraceError(
+                    f"sync span {name!r} on track {track!r} closed out of order"
+                )
+            stack.pop()
+            self.events.append(
+                TraceEvent(ts=clock.now, ph="E", cat=cat, name=name, track=track)
+            )
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+
+    def next_id(self, prefix: str) -> str:
+        """A deterministic fresh span id (``prefix`` + counter)."""
+        seq = self._id_seqs.get(prefix)
+        if seq is None:
+            seq = itertools.count()
+            self._id_seqs[prefix] = seq
+        return f"{prefix}{next(seq)}"
+
+    def open_sync_spans(self) -> int:
+        """Number of sync spans currently open (0 in a settled trace)."""
+        return sum(len(stack) for stack in self._open.values())
+
+    def clear(self) -> None:
+        """Drop every recorded event (id counters keep counting)."""
+        self.events.clear()
+        self._open.clear()
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+def pair_async_spans(
+    events: List[TraceEvent],
+) -> List[Tuple[TraceEvent, TraceEvent]]:
+    """Match ``b``/``e`` events by ``(cat, id)`` in record order.
+
+    Unmatched begins (still-open spans at export time) are dropped;
+    used by the CLI's duration statistics.
+    """
+    open_spans: Dict[Tuple[str, Optional[str]], TraceEvent] = {}
+    pairs: List[Tuple[TraceEvent, TraceEvent]] = []
+    for event in events:
+        key = (event.cat, event.id)
+        if event.ph == "b":
+            open_spans[key] = event
+        elif event.ph == "e":
+            begin = open_spans.pop(key, None)
+            if begin is not None:
+                pairs.append((begin, event))
+    return pairs

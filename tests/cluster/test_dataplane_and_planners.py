@@ -170,7 +170,7 @@ class TestSelectorReadPlanner:
         assert len(transfers) == 1
         assert transfers[0].path is not None
         assert transfers[0].flow_id is not None
-        flowserver.collector.stop()
+        flowserver.close()
 
 
 class TestFlowserverReadPlanner:
@@ -193,7 +193,7 @@ class TestFlowserverReadPlanner:
         assert sum(t.size_bytes for t in transfers) == 100 * MB
         for t in transfers:
             assert isinstance(t.size_bytes, int)
-        flowserver.collector.stop()
+        flowserver.close()
 
     def test_local_read(self, env):
         topo, loop, net, routing, controller, fabric, dp = env
@@ -213,7 +213,7 @@ class TestFlowserverReadPlanner:
         assert len(transfers) == 1
         assert transfers[0].replica == "pod0-rack0-h1"
         assert transfers[0].path is None
-        flowserver.collector.stop()
+        flowserver.close()
 
 
 class TestSplitBytes:

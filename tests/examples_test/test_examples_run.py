@@ -54,6 +54,17 @@ def test_flowserver_tracing():
     assert "paths evaluated" in out
 
 
+def test_telemetry_tour(tmp_path):
+    out = run_example("telemetry_tour.py")
+    assert "selection decisions traced: 50" in out
+    assert "exported to telemetry_tour_out/" in out
+    assert "done." in out
+    out_dir = EXAMPLES / "telemetry_tour_out"
+    assert (out_dir / "trace.jsonl").exists()
+    assert (out_dir / "trace.json").exists()
+    assert (out_dir / "metrics.prom").exists()
+
+
 def test_datacenter_workload_small():
     out = run_example("datacenter_workload.py", "40")
     assert "Figure 4" in out

@@ -85,7 +85,7 @@ class TestMayflowerOnLeafSpine:
                 controller.start_transfer(a.flow_id, a.path, a.size_bits)
         result = flowserver.select("leaf0-h0", [busy, idle], 256 * MB)
         assert result.assignments[0].replica == idle
-        flowserver.collector.stop()
+        flowserver.close()
 
     def test_read_completes_at_line_rate(self):
         topo = leaf_spine(oversubscription=1.0)
@@ -102,5 +102,5 @@ class TestMayflowerOnLeafSpine:
                 on_complete=lambda f: done.append(loop.now),
             )
         loop.run()
-        flowserver.collector.stop()
+        flowserver.close()
         assert done == [pytest.approx(8.0)]  # non-blocking: full 1 Gbps
