@@ -1,0 +1,121 @@
+"""Rate-engine bench — scoped solves beat batch recomputation at scale.
+
+The incremental engine's pitch is §6.4's: at scale, one rack's flow
+churn has no business re-solving another pod's rates.  This bench drives
+the fluid simulator through an identical Poisson flow-churn trace at 64,
+128 and 256 hosts and reads the engine's work counters:
+``link_visits`` is the (flow, link) incidences the scoped solver
+actually processed, ``batch_link_visits`` the counterfactual a
+from-scratch global solve would have processed at the same event
+instants.  The savings ratio must *grow* with scale and clear 5× at 256
+hosts — that is the headline the refactor is sold on, so the guard
+failing means the scoped recomputation regressed to (near-)global
+solves.
+
+Results are also written to ``BENCH_rate_engine.json`` (events/sec and
+link-visit counts per scale) for the CI artifact.
+"""
+
+import json
+import random
+import time
+from pathlib import Path
+
+from conftest import BENCH_SEED, attach_report
+
+from repro.net import FlowNetwork, RoutingTable, three_tier
+from repro.sim import EventLoop
+
+MB = 8e6
+
+#: Flow-churn trace length per scale (arrivals; completions double it).
+CHURN_FLOWS = 600
+#: Fraction of transfers that stay inside the source rack (paper
+#: workloads are locality-skewed; see Fig. 5's locality distributions).
+RACK_LOCAL_FRACTION = 0.4
+#: Per-host arrival rate (1/s) — keeps tens of flows concurrently active.
+ARRIVAL_RATE_PER_HOST = 0.05
+
+
+def _churn_at_scale(pods, racks_per_pod, seed):
+    """Run the churn trace; returns the engine's work/throughput counters."""
+    topo = three_tier(pods=pods, racks_per_pod=racks_per_pod)
+    table = RoutingTable(topo)
+    hosts = sorted(topo.hosts)
+    by_rack = {}
+    for host in topo.hosts.values():
+        by_rack.setdefault(host.rack, []).append(host.host_id)
+    loop = EventLoop()
+    net = FlowNetwork(loop, topo)
+    rng = random.Random(seed)
+
+    t = 0.0
+    for i in range(CHURN_FLOWS):
+        t += rng.expovariate(len(hosts) * ARRIVAL_RATE_PER_HOST)
+        src = rng.choice(hosts)
+        if rng.random() < RACK_LOCAL_FRACTION:
+            pool = [h for h in by_rack[topo.hosts[src].rack] if h != src]
+        else:
+            pool = [h for h in hosts if h != src]
+        dst = rng.choice(sorted(pool))
+        path = rng.choice(table.paths(src, dst))
+        size = rng.choice([4, 16, 64]) * MB
+        loop.call_at(
+            t, lambda fid=f"f{i}", p=path, s=size: net.start_flow(fid, p, s)
+        )
+
+    start = time.perf_counter()
+    loop.run()
+    elapsed = time.perf_counter() - start
+
+    stats = net.rate_engine.stats
+    assert net.rate_engine.flow_count() == 0  # every transfer drained
+    return {
+        "hosts": len(hosts),
+        "flows": CHURN_FLOWS,
+        "events": stats.events,
+        "solves": stats.solves,
+        "link_visits": stats.link_visits,
+        "batch_link_visits": stats.full_link_visits,
+        "visit_savings": stats.visit_savings,
+        "events_per_sec": stats.events / elapsed if elapsed > 0 else 0.0,
+        "wall_seconds": elapsed,
+    }
+
+
+def test_scoped_recomputation_beats_batch(benchmark):
+    def sweep():
+        return [
+            _churn_at_scale(4, 4, BENCH_SEED),
+            _churn_at_scale(8, 4, BENCH_SEED),
+            _churn_at_scale(8, 8, BENCH_SEED),
+        ]
+
+    results = benchmark.pedantic(sweep, iterations=1, rounds=1)
+
+    lines = [
+        "Incremental rate engine vs batch recomputation "
+        f"({CHURN_FLOWS} flows, {RACK_LOCAL_FRACTION:.0%} rack-local)"
+    ]
+    for row in results:
+        lines.append(
+            f"  {row['hosts']:4d} hosts: {row['link_visits']:7d} scoped vs "
+            f"{row['batch_link_visits']:7d} batch link visits "
+            f"({row['visit_savings']:.1f}x fewer), "
+            f"{row['events_per_sec']:,.0f} events/s"
+        )
+    attach_report(benchmark, "\n".join(lines))
+
+    out_path = Path("BENCH_rate_engine.json")
+    out_path.write_text(
+        json.dumps({"seed": BENCH_SEED, "scales": results}, indent=2) + "\n"
+    )
+
+    savings = [row["visit_savings"] for row in results]
+    # Scoping must pay more the larger the network gets...
+    assert savings == sorted(savings), savings
+    # ...and clear the headline 5x bar at 256 hosts.
+    assert savings[-1] >= 5.0, savings
+    # One scoped solve per membership event (starts + completions).
+    for row in results:
+        assert row["solves"] == row["events"] == 2 * CHURN_FLOWS

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
-from repro.net.simulator import FlowNetwork
+from repro.net.view import NetworkView
 from repro.sim.engine import EventLoop, PeriodicTimer
 
 
@@ -33,7 +33,7 @@ class EndHostMonitor:
     def __init__(
         self,
         loop: EventLoop,
-        network: FlowNetwork,
+        network: NetworkView,
         sample_interval: float = 1.0,
         auto_start: bool = True,
     ):

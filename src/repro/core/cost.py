@@ -24,10 +24,119 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.flow_state import FlowStateTable, TrackedFlow
 from repro.net.fairshare import single_link_fair_allocation
+
+
+class LinkShareCache:
+    """Memoised per-link water-filling over one flow-state snapshot.
+
+    A candidate sweep (Pseudocode 1) evaluates every (replica, shortest
+    path) pair, and candidate paths overlap heavily — all paths out of
+    one replica share its edge uplink, all paths into the client share
+    its downlink.  Historically every candidate re-ran
+    :func:`~repro.net.fairshare.single_link_fair_allocation` per link
+    from scratch; this cache computes each distinct (link, newcomer
+    demand) allocation once and replays it for every other candidate
+    touching that link.
+
+    Validity is keyed on :attr:`FlowStateTable.version`: any mutation of
+    the table (membership, ``SETBW``/``UPDATEBW``/rollback) bumps the
+    version and the next lookup drops every memo.  The cache therefore
+    never serves stale allocations, and a single long-lived instance (the
+    Flowserver owns one) is as correct as a fresh cache per sweep.
+
+    Returned values are exactly what the uncached code computed — same
+    inputs, same routine — so cached and uncached sweeps are
+    bit-identical.
+    """
+
+    def __init__(self, state: FlowStateTable):
+        self._state = state
+        self._version = state.version
+        self._members: Dict[str, List[TrackedFlow]] = {}
+        self._demands: Dict[str, List[float]] = {}
+        self._index: Dict[str, Dict[str, int]] = {}
+        self._probe: Dict[Tuple[str, float], float] = {}
+        self._newcomer: Dict[Tuple[str, float, float], List[float]] = {}
+        #: Allocation lookups served from memo / computed fresh.
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of allocation lookups served from the memo."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def _sync(self) -> None:
+        if self._state.version != self._version:
+            self._members.clear()
+            self._demands.clear()
+            self._index.clear()
+            self._probe.clear()
+            self._newcomer.clear()
+            self._version = self._state.version
+
+    def members(self, link_id: str) -> List[TrackedFlow]:
+        """Tracked flows on a link (sorted), cached for the sweep."""
+        self._sync()
+        got = self._members.get(link_id)
+        if got is None:
+            got = self._state.flows_on_link(link_id)
+            self._members[link_id] = got
+            self._demands[link_id] = [f.bw_bps for f in got]
+        return got
+
+    def demands(self, link_id: str) -> List[float]:
+        """Current bandwidth estimates of the flows on a link, cached."""
+        self.members(link_id)
+        return self._demands[link_id]
+
+    def member_index(self, link_id: str, flow_id: str) -> int:
+        """Position of ``flow_id`` in :meth:`members` order."""
+        self._sync()
+        index = self._index.get(link_id)
+        if index is None:
+            index = {f.flow_id: i for i, f in enumerate(self.members(link_id))}
+            self._index[link_id] = index
+        return index[flow_id]
+
+    def probe_share(self, link_id: str, capacity_bps: float) -> float:
+        """The infinite-demand probe's allocation on one link (§4.2)."""
+        self._sync()
+        key = (link_id, capacity_bps)
+        share = self._probe.get(key)
+        if share is None:
+            self.misses += 1
+            allocation = single_link_fair_allocation(
+                capacity_bps, self.demands(link_id) + [math.inf]
+            )
+            share = allocation[-1]
+            self._probe[key] = share
+        else:
+            self.hits += 1
+        return share
+
+    def newcomer_allocation(
+        self, link_id: str, capacity_bps: float, newcomer_demand_bps: float
+    ) -> List[float]:
+        """Water-fill of a link's flows plus one newcomer with a finite
+        demand; allocation order is :meth:`members` order, newcomer last."""
+        self._sync()
+        key = (link_id, capacity_bps, newcomer_demand_bps)
+        allocation = self._newcomer.get(key)
+        if allocation is None:
+            self.misses += 1
+            allocation = single_link_fair_allocation(
+                capacity_bps, self.demands(link_id) + [newcomer_demand_bps]
+            )
+            self._newcomer[key] = allocation
+        else:
+            self.hits += 1
+        return allocation
 
 
 @dataclass(frozen=True)
@@ -63,18 +172,20 @@ def estimate_path_share(
     path_link_ids: Sequence[str],
     link_capacity_bps: Mapping[str, float],
     state: FlowStateTable,
+    cache: Optional[LinkShareCache] = None,
 ) -> Tuple[float, Optional[str]]:
     """``MAXMINSHARE``: the probe's estimated rate along one path.
 
-    Returns ``(b_j, bottleneck_link_id)``.
+    Returns ``(b_j, bottleneck_link_id)``.  ``cache`` shares per-link
+    allocations across the candidate sweep; omitted, a transient cache
+    still deduplicates repeated links within this one path.
     """
+    if cache is None:
+        cache = LinkShareCache(state)
     best = math.inf
     bottleneck: Optional[str] = None
     for link_id in path_link_ids:
-        capacity = link_capacity_bps[link_id]
-        demands = state.link_demands(link_id)
-        allocation = single_link_fair_allocation(capacity, demands + [math.inf])
-        share = allocation[-1]
+        share = cache.probe_share(link_id, link_capacity_bps[link_id])
         if share < best:
             best = share
             bottleneck = link_id
@@ -87,24 +198,27 @@ def new_bandwidth_of_existing(
     new_flow_demand_bps: float,
     link_capacity_bps: Mapping[str, float],
     state: FlowStateTable,
+    cache: Optional[LinkShareCache] = None,
 ) -> float:
     """``NEWBANDWIDTH``: flow ``f``'s share after the newcomer joins.
 
     Evaluated on every link the flow shares with the candidate path; the
     flow's new share is its worst allocation across those links, and never
-    exceeds its current estimate.
+    exceeds its current estimate.  The (link, newcomer-demand) water-fill
+    is memoised in ``cache``, so every other existing flow on the same
+    link reads its own slot from the same allocation.
     """
+    if cache is None:
+        cache = LinkShareCache(state)
     shared = [lid for lid in path_link_ids if lid in flow.path_link_ids]
     if not shared:
         return flow.bw_bps
     worst = flow.bw_bps
     for link_id in shared:
-        capacity = link_capacity_bps[link_id]
-        members = state.flows_on_link(link_id)
-        demands = [m.bw_bps for m in members] + [new_flow_demand_bps]
-        allocation = single_link_fair_allocation(capacity, demands)
-        index = next(i for i, m in enumerate(members) if m.flow_id == flow.flow_id)
-        worst = min(worst, allocation[index])
+        allocation = cache.newcomer_allocation(
+            link_id, link_capacity_bps[link_id], new_flow_demand_bps
+        )
+        worst = min(worst, allocation[cache.member_index(link_id, flow.flow_id)])
     return worst
 
 
@@ -115,6 +229,7 @@ def flow_cost(
     state: FlowStateTable,
     include_existing_flows: bool = True,
     est_bw_bps: Optional[float] = None,
+    cache: Optional[LinkShareCache] = None,
 ) -> CostBreakdown:
     """``FLOWCOST``: evaluate Eq. 2 for one candidate path.
 
@@ -127,16 +242,23 @@ def flow_cost(
     est_bw_bps:
         Pre-computed ``b_j`` (e.g. from :func:`estimate_path_share`);
         computed on the fly when omitted.
+    cache:
+        Shared :class:`LinkShareCache` for the sweep; a private one is
+        built when omitted (single-path call sites).
     """
     if flow_size_bits <= 0:
         raise ValueError(f"flow size must be positive, got {flow_size_bits}")
+    if cache is None:
+        cache = LinkShareCache(state)
 
     if est_bw_bps is None:
         est_bw_bps, bottleneck = estimate_path_share(
-            path_link_ids, link_capacity_bps, state
+            path_link_ids, link_capacity_bps, state, cache=cache
         )
     else:
-        _, bottleneck = estimate_path_share(path_link_ids, link_capacity_bps, state)
+        _, bottleneck = estimate_path_share(
+            path_link_ids, link_capacity_bps, state, cache=cache
+        )
 
     if est_bw_bps <= 0:
         return CostBreakdown(
@@ -155,7 +277,8 @@ def flow_cost(
         for flow in state.flows_on_path(path_link_ids):
             cur_bw = flow.bw_bps
             new_bw = new_bandwidth_of_existing(
-                flow, path_link_ids, est_bw_bps, link_capacity_bps, state
+                flow, path_link_ids, est_bw_bps, link_capacity_bps, state,
+                cache=cache,
             )
             if new_bw >= cur_bw:
                 continue

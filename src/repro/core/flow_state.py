@@ -57,10 +57,18 @@ class TrackedFlow:
 
 @dataclass
 class FlowStateTable:
-    """All tracked flows plus the link -> flows index the cost model needs."""
+    """All tracked flows plus the link -> flows index the cost model needs.
+
+    ``version`` increments on every mutation that can change a max-min
+    estimate — membership (add/remove) and bandwidth writes (``SETBW``,
+    ``UPDATEBW``, rollback).  :class:`repro.core.cost.LinkShareCache`
+    keys its memoised allocations on it, so a cache can live across
+    selection sweeps and self-invalidate the moment the table moves.
+    """
 
     flows: Dict[str, TrackedFlow] = field(default_factory=dict)
     _link_index: Dict[str, Set[str]] = field(default_factory=dict)
+    version: int = 0
 
     def add(self, flow: TrackedFlow) -> None:
         if flow.flow_id in self.flows:
@@ -68,6 +76,7 @@ class FlowStateTable:
         self.flows[flow.flow_id] = flow
         for link_id in flow.path_link_ids:
             self._link_index.setdefault(link_id, set()).add(flow.flow_id)
+        self.version += 1
 
     def remove(self, flow_id: str) -> Optional[TrackedFlow]:
         """Forget a flow (on FlowRemoved); returns it if it was tracked."""
@@ -80,6 +89,7 @@ class FlowStateTable:
                 members.discard(flow_id)
                 if not members:
                     del self._link_index[link_id]
+        self.version += 1
         return flow
 
     def get(self, flow_id: str) -> Optional[TrackedFlow]:
@@ -114,6 +124,7 @@ class FlowStateTable:
         """``SETBW``: commit an analytic estimate and freeze the flow."""
         flow = self.flows[flow_id]
         flow.bw_bps = bw_bps
+        self.version += 1
         flow.freeze_until = now + flow.expected_completion()
         flow.freezed = True
         tel = instrument.TELEMETRY
@@ -133,6 +144,7 @@ class FlowStateTable:
         if not flow.freezed or now > flow.freeze_until:
             was_frozen = flow.freezed
             flow.bw_bps = bw_bps
+            self.version += 1
             flow.freezed = False
             if was_frozen:
                 tel = instrument.TELEMETRY
@@ -168,6 +180,7 @@ class FlowStateTable:
                 flow.bw_bps = bw
                 flow.freezed = freezed
                 flow.freeze_until = until
+        self.version += 1
 
     def __len__(self) -> int:
         return len(self.flows)

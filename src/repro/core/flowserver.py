@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 from types import TracebackType
 from typing import Deque, Dict, List, Optional, Sequence, Type
 
+from repro.core.cost import LinkShareCache
 from repro.core.flow_state import FlowStateTable, TrackedFlow
 from repro.core.multireplica import MultiReplicaPlanner, SubflowPlan
 from repro.core.selection import PathChoice, select_replica_and_path
@@ -134,6 +135,9 @@ class Flowserver:
         self._routing = routing
         self.config = config or FlowserverConfig()
         self.state = FlowStateTable()
+        #: Long-lived per-link allocation memo shared by every candidate
+        #: sweep; self-invalidates on any FlowStateTable mutation.
+        self.link_cache = LinkShareCache(self.state)
         self._loop = controller.network.loop
         self._capacities = {
             lid: link.capacity_bps
@@ -281,6 +285,7 @@ class Flowserver:
                 now=self._loop.now,
                 include_existing_flows=self.config.include_existing_flows_in_cost,
                 job_id=request_id,
+                cache=self.link_cache,
             )
             if len(plans) > 1:
                 self.split_reads += 1
@@ -296,6 +301,7 @@ class Flowserver:
                 now=self._loop.now,
                 include_existing_flows=self.config.include_existing_flows_in_cost,
                 job_id=request_id,
+                cache=self.link_cache,
             )
             assignments = (
                 Assignment(

@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Mapping, Optional, Sequence, Tuple
 
+from repro.core.cost import LinkShareCache
 from repro.core.flow_state import FlowStateTable
 from repro.core.selection import PathChoice, commit_choice, score_candidate_paths
 from repro.net.routing import Path
@@ -63,12 +64,17 @@ class MultiReplicaPlanner:
         now: float,
         include_existing_flows: bool = True,
         job_id: Optional[str] = None,
+        cache: Optional[LinkShareCache] = None,
     ) -> List[SubflowPlan]:
         """Return one or two committed subflow plans for the read.
 
         ``flow_ids`` supplies (pre-allocated) ids for the up-to-two
         subflows.  On return the state table already tracks the chosen
         flows with their final sizes and freezes applied.
+
+        The same ``cache`` serves both sweeps: committing ``f1`` bumps the
+        state-table version, so the second sweep starts cold by
+        construction and never sees pre-commit allocations.
         """
         if not candidate_paths:
             raise ValueError("no candidate paths to select from")
@@ -80,6 +86,7 @@ class MultiReplicaPlanner:
             link_capacity_bps,
             state,
             include_existing_flows=include_existing_flows,
+            cache=cache,
         )
         first = choices[0]
         b1 = first.cost.est_bw_bps
@@ -102,6 +109,7 @@ class MultiReplicaPlanner:
             link_capacity_bps,
             state,
             include_existing_flows=include_existing_flows,
+            cache=cache,
         )
         second = second_choices[0]
         b2 = second.cost.est_bw_bps

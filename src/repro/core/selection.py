@@ -13,7 +13,7 @@ import math
 from dataclasses import dataclass
 from typing import List, Mapping, Optional, Sequence
 
-from repro.core.cost import CostBreakdown, flow_cost
+from repro.core.cost import CostBreakdown, LinkShareCache, flow_cost
 from repro.core.flow_state import FlowStateTable, TrackedFlow
 from repro.net.routing import Path
 
@@ -36,12 +36,18 @@ def score_candidate_paths(
     link_capacity_bps: Mapping[str, float],
     state: FlowStateTable,
     include_existing_flows: bool = True,
+    cache: Optional[LinkShareCache] = None,
 ) -> List[PathChoice]:
     """Score every candidate path; sorted cheapest-first.
 
     Ties break on higher estimated bandwidth, then lexicographic path id,
-    keeping runs deterministic.
+    keeping runs deterministic.  One :class:`LinkShareCache` spans the
+    whole sweep (callers may pass a longer-lived one): candidates share
+    edge uplinks/downlinks heavily, so each distinct per-link water-fill
+    runs once instead of once per (replica, path) pair.
     """
+    if cache is None:
+        cache = LinkShareCache(state)
     choices = [
         PathChoice(
             path=path,
@@ -51,6 +57,7 @@ def score_candidate_paths(
                 link_capacity_bps,
                 state,
                 include_existing_flows=include_existing_flows,
+                cache=cache,
             ),
         )
         for path in candidate_paths
@@ -97,6 +104,7 @@ def select_replica_and_path(
     now: float,
     include_existing_flows: bool = True,
     job_id: Optional[str] = None,
+    cache: Optional[LinkShareCache] = None,
 ) -> PathChoice:
     """Full SELECTREPLICAANDPATH: score, pick, and commit.
 
@@ -113,6 +121,7 @@ def select_replica_and_path(
         link_capacity_bps,
         state,
         include_existing_flows=include_existing_flows,
+        cache=cache,
     )
     best = choices[0]
     if math.isinf(best.cost.total):

@@ -146,13 +146,18 @@ class FlowserverWritePlacement(PlacementPolicy):
 
     def _estimated_share(self, src: Optional[str], dst: str) -> float:
         state = self._flowserver.state
+        cache = self._flowserver.link_cache
         if src is None or src == dst:
             edge = self._topo.edge_switch_of(dst)
             downlink = f"{edge}->{dst}"
-            share, _ = estimate_path_share([downlink], self._capacities, state)
+            share, _ = estimate_path_share(
+                [downlink], self._capacities, state, cache=cache
+            )
             return share
         best = 0.0
         for path in self._routing.paths(src, dst):
-            share, _ = estimate_path_share(path.link_ids, self._capacities, state)
+            share, _ = estimate_path_share(
+                path.link_ids, self._capacities, state, cache=cache
+            )
             best = max(best, share)
         return best

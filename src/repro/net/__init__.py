@@ -12,7 +12,11 @@ Provides everything Mayflower's evaluation network needs:
   simulator with per-link byte counters (the stand-in for Mininet);
 * :mod:`repro.net.switch` — switch objects exposing OpenFlow-style port and
   flow counters to the SDN controller;
-* :mod:`repro.net.ecmp` — hash-based equal-cost multi-path selection.
+* :mod:`repro.net.ecmp` — hash-based equal-cost multi-path selection;
+* :mod:`repro.net.rate_engine` — incremental max-min solver with scoped
+  (connected-component) recomputation;
+* :mod:`repro.net.view` — the read-only :class:`NetworkView` protocol the
+  baselines, switches and telemetry probes consume.
 """
 
 from repro.net.ecmp import EcmpHasher
@@ -21,9 +25,11 @@ from repro.net.fairshare import (
     single_link_fair_allocation,
 )
 from repro.net.links import Link, LinkDirection
+from repro.net.rate_engine import IncrementalRateEngine, RateEngineStats
 from repro.net.routing import Path, RoutingTable
 from repro.net.simulator import Flow, FlowAborted, FlowNetwork
 from repro.net.switch import Switch
+from repro.net.view import FlowView, NetworkView
 from repro.net.topology import (
     Host,
     SwitchNode,
@@ -38,10 +44,14 @@ __all__ = [
     "Flow",
     "FlowAborted",
     "FlowNetwork",
+    "FlowView",
     "Host",
+    "IncrementalRateEngine",
     "Link",
     "LinkDirection",
+    "NetworkView",
     "Path",
+    "RateEngineStats",
     "RoutingTable",
     "Switch",
     "SwitchNode",

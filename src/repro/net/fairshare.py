@@ -42,15 +42,22 @@ def single_link_fair_allocation(
 
     allocation = [0.0] * n
     remaining_capacity = float(capacity_bps)
-    active = [i for i in range(n) if demands[i] > 0]
     # Process flows in ascending demand order: once the equal share exceeds
     # the smallest remaining demand, that flow is satisfied and frozen.
-    for i in sorted(active, key=lambda idx: demands[idx]):
-        share = remaining_capacity / len(active)
+    # A single index sweep suffices — after the k-th freeze exactly
+    # ``len(order) - k`` flows remain active, so the equal share is
+    # ``remaining_capacity / remaining_count`` without rebuilding the
+    # active list (the historical O(n²) rebuild produced the same values).
+    order = sorted(
+        (i for i in range(n) if demands[i] > 0), key=lambda idx: demands[idx]
+    )
+    remaining_count = len(order)
+    for i in order:
+        share = remaining_capacity / remaining_count
         give = min(demands[i], share)
         allocation[i] = give
         remaining_capacity -= give
-        active = [j for j in active if j != i]
+        remaining_count -= 1
         if remaining_capacity <= 0:
             break
     return allocation

@@ -18,6 +18,7 @@ from __future__ import annotations
 import math
 from typing import Callable, Dict, List, Optional, Sequence
 
+from repro.net.rate_engine import IncrementalRateEngine
 from repro.net.routing import Path
 from repro.net.topology import Topology
 from repro.sim import instrument
@@ -156,6 +157,9 @@ class FlowNetwork:
         self._flows: Dict[str, Flow] = {}
         self._last_progress_time = loop.now
         self._completion_event: Optional[EventHandle] = None
+        self._engine = IncrementalRateEngine(
+            lambda link_id: topology.links[link_id].capacity_bps
+        )
         self.completed_flows = 0
         self.aborted_flows = 0
         instrument.notify_component("network", self)
@@ -167,6 +171,11 @@ class FlowNetwork:
     @property
     def topology(self) -> Topology:
         return self._topo
+
+    @property
+    def rate_engine(self) -> IncrementalRateEngine:
+        """The incremental solver maintaining this network's rates."""
+        return self._engine
 
     @property
     def active_flows(self) -> Dict[str, Flow]:
@@ -214,6 +223,7 @@ class FlowNetwork:
         self._flows[flow_id] = flow
         for link_id in path.link_ids:
             self._topo.links[link_id].flows.add(flow_id)
+        self._engine.add_flow(flow_id, path.link_ids)
         self._recompute_rates()
         return flow
 
@@ -248,6 +258,7 @@ class FlowNetwork:
         flow.path = new_path
         for link_id in new_path.link_ids:
             self._topo.links[link_id].flows.add(flow_id)
+        self._engine.reroute_flow(flow_id, new_path.link_ids)
         self._recompute_rates()
         return flow
 
@@ -348,6 +359,7 @@ class FlowNetwork:
         for link_id in flow.path.link_ids:
             self._topo.links[link_id].flows.discard(flow.flow_id)
         del self._flows[flow.flow_id]
+        self._engine.remove_flow(flow.flow_id)
 
     def _advance_progress(self) -> None:
         """Charge transferred bits for the interval since the last update."""
@@ -367,27 +379,25 @@ class FlowNetwork:
                 self._topo.links[link_id].record_bytes(moved_bytes)
 
     def _recompute_rates(self) -> None:
-        """Re-solve global max-min and reschedule the next completion."""
+        """Re-solve the affected rates and reschedule the next completion.
+
+        The :class:`IncrementalRateEngine` solves only the connected
+        component touched by the membership change (bit-identical to the
+        historical whole-network solve — see the engine's module
+        docstring), then the earliest completion is rescheduled from the
+        refreshed rates.
+        """
         if self._completion_event is not None:
             self._completion_event.cancel()
             self._completion_event = None
+        rates = self._engine.recompute()
         if not self._flows:
             return
-        from repro.net.fairshare import max_min_fair_rates
-
-        flow_links = {fid: f.path.link_ids for fid, f in self._flows.items()}
-        capacities = {
-            lid: self._topo.links[lid].capacity_bps
-            for links in flow_links.values()
-            for lid in links
-        }
-        rates = max_min_fair_rates(flow_links, capacities)
-        next_completion = math.inf
         for fid, flow in self._flows.items():
             flow.rate_bps = rates[fid]
-            if flow.rate_bps > 0:
-                eta = flow.remaining_bits / flow.rate_bps
-                next_completion = min(next_completion, eta)
+        next_completion = self._engine.earliest_completion(
+            lambda fid: self._flows[fid].remaining_bits
+        )
         if math.isfinite(next_completion):
             self._completion_event = self._loop.call_in(
                 max(0.0, next_completion), self._on_completion_tick
@@ -422,11 +432,15 @@ class FlowNetwork:
         self._advance_progress()
 
     def link_utilization_bps(self, link_id: str) -> float:
-        """Instantaneous ground-truth load on a link (sum of flow rates)."""
-        link = self._topo.links[link_id]
-        # Sorted so the float summation order (and thus the last bit of
-        # the result) is independent of the process hash seed.
-        return sum(self._flows[fid].rate_bps for fid in sorted(link.flows))
+        """Instantaneous ground-truth load on a link (sum of flow rates).
+
+        Delegated to the rate engine, which sums member rates in sorted
+        flow-id order so the float result is independent of the process
+        hash seed.
+        """
+        if link_id not in self._topo.links:
+            raise KeyError(f"unknown link {link_id!r}")
+        return self._engine.link_utilization_bps(link_id)
 
     def ground_truth_rates(self) -> Dict[str, float]:
         """Current max-min rate of every active flow (testing aid)."""

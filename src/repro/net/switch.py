@@ -10,6 +10,10 @@ the SDN controller issues (§3.3.3):
 Counters are ground truth pulled from the flow simulator at query time, so
 the controller only ever sees byte counts — never rates — and must infer
 bandwidth by differencing successive polls exactly like a real controller.
+
+Switches observe, never mutate: they type against the read-only
+:class:`~repro.net.view.NetworkView` protocol rather than the concrete
+simulator.
 """
 
 from __future__ import annotations
@@ -17,8 +21,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
-from repro.net.simulator import FlowNetwork
 from repro.net.topology import SwitchNode, Tier
+from repro.net.view import NetworkView
 
 
 @dataclass(frozen=True)
@@ -45,7 +49,7 @@ class FlowStat:
 class Switch:
     """Stats-serving view over one switch in the simulated network."""
 
-    def __init__(self, node: SwitchNode, network: FlowNetwork):
+    def __init__(self, node: SwitchNode, network: NetworkView):
         self._node = node
         self._network = network
         self._topo = network.topology
@@ -111,7 +115,7 @@ class Switch:
         return stats
 
 
-def build_switches(network: FlowNetwork) -> Dict[str, Switch]:
+def build_switches(network: NetworkView) -> Dict[str, Switch]:
     """Instantiate a :class:`Switch` for every switch node in the topology."""
     return {
         node.switch_id: Switch(node, network)

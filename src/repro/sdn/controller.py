@@ -19,6 +19,7 @@ from typing import Callable, Dict, List, Optional, Set
 from repro.net.routing import Path
 from repro.net.simulator import Flow, FlowAborted, FlowNetwork
 from repro.net.switch import Switch, build_switches
+from repro.net.view import NetworkView
 from repro.sim import instrument
 from repro.sdn.flowtable import FlowTable
 from repro.sdn.openflow import FlowRemoved, FlowStatsReply, PortStatsReply, PortStatus
@@ -67,6 +68,17 @@ class Controller:
 
     @property
     def network(self) -> FlowNetwork:
+        return self._network
+
+    @property
+    def view(self) -> NetworkView:
+        """Observation-only surface of the controlled network.
+
+        Schedulers and monitors that read (never mutate) network state
+        should take this rather than :attr:`network`: the protocol type
+        makes accidental mutation a type error and lets tests substitute
+        replay/mock networks.
+        """
         return self._network
 
     @property

@@ -21,6 +21,8 @@ from __future__ import annotations
 import math
 from typing import Any, Callable, Iterable, List, Optional
 
+from repro.net.topology import Topology
+from repro.net.view import NetworkView
 from repro.telemetry.metrics import MetricsRegistry, TimeSeriesSampler
 
 #: Gauge value standing in for "not applicable yet" (no recoveries seen).
@@ -35,8 +37,8 @@ def _frozen_flow_count(flowserver: Any) -> float:
 def bind_standard_probes(
     sampler: TimeSeriesSampler,
     *,
-    network: Optional[Any] = None,
-    topology: Optional[Any] = None,
+    network: Optional[NetworkView] = None,
+    topology: Optional[Topology] = None,
     flowserver: Optional[Any] = None,
 ) -> List[str]:
     """Attach the standard probe set; returns the probe names added.
@@ -45,6 +47,12 @@ def bind_standard_probes(
     max fraction of capacity across up links); ``flowserver`` enables the
     tracked/frozen flow-count probes.  Missing components simply skip
     their probes, so call sites pass whatever the scheme under test has.
+
+    ``network`` is typed as the read-only
+    :class:`~repro.net.view.NetworkView`; when the concrete network also
+    carries an incremental rate engine (:class:`FlowNetwork` does), its
+    solver counters are exposed too, as is the Flowserver's cost-model
+    cache hit rate.
     """
     added: List[str] = []
 
@@ -73,12 +81,34 @@ def bind_standard_probes(
         sampler.add_probe("link_utilization_max", _max_util)
         added += ["link_utilization_mean", "link_utilization_max"]
 
+    engine = getattr(network, "rate_engine", None)
+    if engine is not None:
+        stats = engine.stats
+        sampler.add_probe("rate_engine_solves", lambda: float(stats.solves))
+        sampler.add_probe(
+            "rate_engine_last_dirty_flows", lambda: float(stats.last_dirty_flows)
+        )
+        sampler.add_probe(
+            "rate_engine_visit_savings", lambda: float(stats.visit_savings)
+        )
+        added += [
+            "rate_engine_solves",
+            "rate_engine_last_dirty_flows",
+            "rate_engine_visit_savings",
+        ]
+
     if flowserver is not None:
         sampler.add_probe(
             "tracked_flows", lambda: float(flowserver.tracked_flow_count())
         )
         sampler.add_probe("frozen_flows", lambda: _frozen_flow_count(flowserver))
         added += ["tracked_flows", "frozen_flows"]
+        cache = getattr(flowserver, "link_cache", None)
+        if cache is not None:
+            sampler.add_probe(
+                "cost_cache_hit_rate", lambda: float(cache.hit_rate)
+            )
+            added += ["cost_cache_hit_rate"]
 
     return added
 

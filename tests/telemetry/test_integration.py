@@ -83,8 +83,12 @@ def test_sampler_probes_bound_by_runner(small_workload):
     assert set(sampler.series) == {
         "link_utilization_mean",
         "link_utilization_max",
+        "rate_engine_solves",
+        "rate_engine_last_dirty_flows",
+        "rate_engine_visit_savings",
         "tracked_flows",
         "frozen_flows",
+        "cost_cache_hit_rate",
     }
     peak = max(v for _, v in sampler.series["link_utilization_max"])
     assert 0.0 < peak <= 1.0
