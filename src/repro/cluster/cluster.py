@@ -77,6 +77,17 @@ class ClusterConfig:
     heartbeat_interval: float = 5.0
     heartbeat_timeout: float = 15.0
     repair_interval: float = 10.0
+    #: Lease-guarded two-phase write pipeline (push_data + commit_append
+    #: with epoch fencing and SDN-planned replication fan-out).  Off by
+    #: default: the legacy one-shot append path stays bit-identical.
+    write_pipeline: bool = False
+    #: Primary-lease term in simulated seconds (write pipeline only).
+    lease_duration: float = 30.0
+    #: Fan-out shape policy for pipelined appends: "auto" asks the
+    #: Flowserver per append (chain vs. tree from live link estimates;
+    #: only meaningful under a flowserver scheme), "chain" always relays
+    #: down the static metadata chain (the ECMP-era baseline).
+    fanout: str = "auto"
 
 
 class Cluster:
@@ -181,6 +192,30 @@ class Cluster:
                 "nameserver_replicas must be 1 or >= 3 (Paxos needs a majority)"
             )
 
+        # --- write pipeline: lease service ------------------------------
+        self.lease_manager = None
+        if self.config.write_pipeline:
+            if self.config.fanout not in ("auto", "chain"):
+                raise ValueError(
+                    f"unknown fanout policy {self.config.fanout!r}; "
+                    f"expected 'auto' or 'chain'"
+                )
+            if self._ns_replicas is not None:
+                raise ValueError(
+                    "write_pipeline requires nameserver_replicas=1 "
+                    "(the lease manager is co-located with the single "
+                    "nameserver)"
+                )
+            from repro.fs.leases import LEASE_SERVICE, LeaseManager
+
+            self.lease_manager = LeaseManager(
+                self.loop, duration=self.config.lease_duration
+            )
+            self.fabric.register(
+                self.nameserver_host, LEASE_SERVICE, self.lease_manager
+            )
+            self.nameserver.lease_manager = self.lease_manager
+
         self.dataservers: Dict[str, Dataserver] = {}
         for host_id in sorted(self.topology.hosts):
             ds = Dataserver(
@@ -190,6 +225,9 @@ class Cluster:
                 self.dataplane,
                 store_payload=self.config.store_payload,
                 nameserver_endpoint=self.nameserver_host,
+                lease_endpoint=(
+                    self.nameserver_host if self.lease_manager is not None else None
+                ),
             )
             self.dataservers[host_id] = ds
             self.fabric.register(host_id, "dataserver", ds)
@@ -211,7 +249,9 @@ class Cluster:
             )
 
             self.membership = MembershipTracker(
-                self.loop, sorted(self.topology.hosts)
+                self.loop,
+                sorted(self.topology.hosts),
+                lease_manager=self.lease_manager,
             )
             self.fabric.register(
                 self.nameserver_host, MEMBERSHIP_SERVICE, self.membership
@@ -236,6 +276,7 @@ class Cluster:
                 streams.stream("repair"),
                 check_interval=self.config.repair_interval,
                 heartbeat_timeout=self.config.heartbeat_timeout,
+                lease_manager=self.lease_manager,
             )
 
     # ------------------------------------------------------------------
@@ -261,6 +302,8 @@ class Cluster:
             consistency=self.config.consistency,
             retry=self.config.retry,
             retry_rng=retry_rng,
+            write_pipeline=self.config.write_pipeline,
+            fanout_planner=self._fanout_planner(),
         )
 
     # ------------------------------------------------------------------
@@ -292,6 +335,19 @@ class Cluster:
                 self._nearest_selector, self.fabric, CONTROLLER_ENDPOINT
             )
         return SelectorReadPlanner(self._nearest_selector)
+
+    def _fanout_planner(self):
+        """Write fan-out strategy for pipelined appends (or ``None``)."""
+        if not self.config.write_pipeline:
+            return None
+        from repro.cluster.planners import (
+            FlowserverFanoutPlanner,
+            StaticChainFanoutPlanner,
+        )
+
+        if self.config.fanout == "auto" and self.flowserver is not None:
+            return FlowserverFanoutPlanner(self.fabric, CONTROLLER_ENDPOINT)
+        return StaticChainFanoutPlanner()
 
     # ------------------------------------------------------------------
     # Process helpers

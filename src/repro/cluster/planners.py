@@ -1,4 +1,4 @@
-"""Read planners: the client-side strategy objects of the full cluster.
+"""Read and write planners: the client-side strategy objects of the cluster.
 
 * :class:`FlowserverReadPlanner` — the Mayflower path: an RPC to the
   Flowserver service (living at the controller's virtual endpoint)
@@ -6,7 +6,11 @@
 * :class:`SelectorReadPlanner` — baseline path: replica chosen by a local
   :class:`~repro.baselines.selectors.ReplicaSelector`; the path is either
   left to ECMP (``flowserver_endpoint=None``) or asked of the Flowserver
-  in path-only mode (the "HDFS-Mayflower" configuration).
+  in path-only mode (the "HDFS-Mayflower" configuration);
+* :class:`FlowserverFanoutPlanner` / :class:`StaticChainFanoutPlanner` —
+  write-pipeline fan-out shapes: the former asks the Flowserver to pick
+  chain vs. tree per append from live link estimates, the latter always
+  relays down the static metadata chain (the ECMP-era baseline).
 """
 
 from __future__ import annotations
@@ -14,8 +18,9 @@ from __future__ import annotations
 from typing import Generator, Optional, Sequence
 
 from repro.baselines.selectors import ReplicaSelector
+from repro.core.fanout import static_chain_plan
 from repro.fs.chunks import FileMetadata
-from repro.fs.client import PlannedTransfer, ReadPlanner
+from repro.fs.client import PlannedTransfer, ReadPlanner, WriteFanoutPlanner
 
 
 def _split_bytes(total_bytes: int, fractions: Sequence[float]) -> list:
@@ -115,3 +120,53 @@ class SelectorReadPlanner(ReadPlanner):
                 path=assignment.path,
             )
         ]
+
+
+class FlowserverFanoutPlanner(WriteFanoutPlanner):
+    """Mayflower write path: the Flowserver picks the fan-out shape.
+
+    One RPC per append returns a
+    :class:`~repro.core.fanout.FanoutPlan` priced against the
+    controller's live :class:`NetworkView`; the Flowserver itself falls
+    back to the static chain when its view is degraded, so this planner
+    never has to guess.
+    """
+
+    def __init__(self, fabric, flowserver_endpoint: str = "@controller"):
+        self._fabric = fabric
+        self._endpoint = flowserver_endpoint
+
+    def plan(
+        self,
+        client_host: str,
+        metadata: FileMetadata,
+        size_bytes: int,
+        job_id: Optional[str] = None,
+    ) -> Generator:
+        plan = yield from self._fabric.invoke(
+            client_host,
+            self._endpoint,
+            "flowserver",
+            "plan_replication_fanout",
+            client_host,
+            list(metadata.replicas),
+            size_bytes * 8.0,
+            job_id,
+        )
+        return plan
+
+
+class StaticChainFanoutPlanner(WriteFanoutPlanner):
+    """Baseline write path: always the static chain, no controller RPC."""
+
+    def plan(
+        self,
+        client_host: str,
+        metadata: FileMetadata,
+        size_bytes: int,
+        job_id: Optional[str] = None,
+    ) -> Generator:
+        return static_chain_plan(
+            client_host, metadata.primary, metadata.replicas[1:]
+        )
+        yield  # pragma: no cover - keeps this a generator

@@ -14,12 +14,19 @@ collapses to path choice, exactly as §6.2 describes.
 from __future__ import annotations
 
 import itertools
+import math
 from collections import deque
 from dataclasses import dataclass, field
 from types import TracebackType
-from typing import Deque, Dict, List, Optional, Sequence, Type
+from typing import Deque, Dict, List, Optional, Sequence, Tuple, Type
 
-from repro.core.cost import LinkShareCache
+from repro.core.cost import LinkShareCache, estimate_path_share
+from repro.core.fanout import (
+    EdgeEstimate,
+    FanoutPlan,
+    plan_fanout,
+    static_chain_plan,
+)
 from repro.core.flow_state import FlowStateTable, TrackedFlow
 from repro.core.multireplica import MultiReplicaPlanner, SubflowPlan
 from repro.core.selection import PathChoice, select_replica_and_path
@@ -166,6 +173,12 @@ class Flowserver:
         self.degraded_selections = 0
         self.degraded_entries = 0
         self.unreachable_path_selections = 0
+        self.fanout_requests = 0
+        self.fanout_tree_plans = 0
+        self.fanout_chain_plans = 0
+        self.fanout_static_fallbacks = 0
+        self.fanout_reservations = 0
+        self._intent_seq = itertools.count()
         self.recovery_times: List[float] = []
         self.decision_log: Deque[DecisionRecord] = deque(
             maxlen=self.config.decision_log_size or None
@@ -339,6 +352,154 @@ class Flowserver:
     ) -> SelectionResult:
         """Path selection for a pre-chosen replica (baseline scheduler mode)."""
         return self.select(client, [replica], size_bits, job_id=job_id)
+
+    def plan_replication_fanout(
+        self,
+        writer: str,
+        replicas: Sequence[str],
+        size_bits: float,
+        job_id: Optional[str] = None,
+    ) -> FanoutPlan:
+        """Choose the relay topology (chain vs. tree) for one append.
+
+        The write-path side of the co-design: the client hands the
+        Flowserver the file's replica set and the append size, and gets
+        back a :class:`~repro.core.fanout.FanoutPlan` — writer→primary
+        push path plus the relay tree the primary should fan the commit
+        out over, shaped by current max-min share estimates.
+
+        Planning applies no SETBW to existing flows, but it is not blind
+        to itself: every planned edge registers a short-lived
+        **reservation flow** in the state table, expiring after the
+        plan's estimated completion.  Without reservations, concurrent
+        writers planning in the same quiet instant would all see an idle
+        network and herd onto the same "best" links; with them, each
+        plan's cost sweep sees the fan-outs planned just before it and
+        spreads.  An abandoned plan (the client retried elsewhere, the
+        primary was fenced) costs nothing durable — its reservations
+        expire on their own, and the stats collector's unseen-flow expiry
+        backstops them.
+
+        When any needed edge has no healthy, trusted path — the same
+        degraded signals :meth:`select` uses — the whole plan falls back
+        to a static ECMP chain in replica order, matching the read path's
+        degrade-to-ECMP behaviour.
+        """
+        if not replicas:
+            raise ValueError("an append needs at least one replica")
+        if size_bits <= 0:
+            raise ValueError(f"append size must be positive, got {size_bits}")
+        self.fanout_requests += 1
+        primary = replicas[0]
+        secondaries = [r for r in replicas[1:]]
+
+        class _Degraded(Exception):
+            pass
+
+        def estimate(src: str, dst: str) -> EdgeEstimate:
+            edge = self._fanout_edge(src, dst)
+            if edge is None:
+                raise _Degraded(f"{src}->{dst}")
+            return edge
+
+        try:
+            plan = plan_fanout(
+                writer, primary, secondaries, size_bits, estimate
+            )
+        except _Degraded:
+            plan = static_chain_plan(writer, primary, secondaries)
+            self.fanout_static_fallbacks += 1
+        if plan.kind == "tree":
+            self.fanout_tree_plans += 1
+            self._reserve_plan(plan, size_bits, job_id)
+        elif plan.kind == "chain":
+            self.fanout_chain_plans += 1
+            self._reserve_plan(plan, size_bits, job_id)
+        tel = instrument.TELEMETRY
+        if tel is not None:
+            tel.instant(
+                self._loop.now,
+                "flowserver.fanout",
+                "decision",
+                request=job_id or "",
+                writer=writer,
+                primary=primary,
+                kind=plan.kind,
+                est_completion_s=plan.est_completion_s,
+            )
+            tel.count("flowserver_fanout_requests_total")
+            tel.count(f"flowserver_fanout_{plan.kind}_total")
+        return plan
+
+    def _reserve_plan(
+        self, plan: FanoutPlan, size_bits: float, job_id: Optional[str]
+    ) -> None:
+        """Register expiring reservation flows for a plan's pinned edges.
+
+        Each reserved edge occupies its links in the state table at the
+        planned share, so the next plan's max-min sweep routes around it.
+        Reservations self-expire after the whole plan's estimated
+        completion (every relay edge is busy somewhere in that window);
+        by then the real transfers have surfaced through stats polling.
+        """
+        edges: List[Tuple[Path, float]] = []
+        if plan.push_path is not None:
+            edges.append((plan.push_path, plan.push_bw_bps))
+        stack = list(plan.children)
+        while stack:
+            node = stack.pop()
+            if node.path is not None:
+                edges.append((node.path, node.est_bw_bps))
+            stack.extend(node.children)
+        if not edges:
+            return
+        now = self._loop.now
+        horizon = plan.est_completion_s
+        if not math.isfinite(horizon) or horizon <= 0:
+            return
+        for path, bw_bps in edges:
+            if not (bw_bps > 0 and math.isfinite(bw_bps)):
+                continue
+            flow_id = f"fanout-intent-{next(self._intent_seq)}"
+            self.state.add(
+                TrackedFlow(
+                    flow_id=flow_id,
+                    path_link_ids=path.link_ids,
+                    size_bits=size_bits,
+                    remaining_bits=size_bits,
+                    bw_bps=bw_bps,
+                    freezed=True,
+                    freeze_until=now + horizon,
+                    job_id=job_id,
+                )
+            )
+            self.fanout_reservations += 1
+            self._loop.call_at(
+                now + horizon,
+                lambda fid=flow_id: self.state.remove(fid),
+            )
+
+    def _fanout_edge(self, src: str, dst: str) -> Optional[EdgeEstimate]:
+        """Best (path, est share) for one relay edge, or ``None`` when no
+        healthy trusted path exists (degraded — caller falls back)."""
+        if src == dst:
+            return (None, float("inf"))
+        candidates = self._routing.paths(src, dst)
+        healthy = [p for p in candidates if self._controller.path_is_up(p)]
+        trusted = [p for p in healthy if self._path_trusted(p)]
+        if not trusted:
+            return None
+        scored: List[Tuple[Path, float]] = []
+        for path in trusted:
+            bw, _ = estimate_path_share(
+                path.link_ids, self._capacities, self.state,
+                cache=self.link_cache,
+            )
+            scored.append((path, bw))
+        # Highest estimated share wins; exact ties resolve to the
+        # lexicographically smallest path so planning stays deterministic.
+        best_path, best_bw = min(scored, key=lambda s: (-s[1], s[0].link_ids))
+        return (best_path, best_bw)
 
     # ------------------------------------------------------------------
     # Degraded mode

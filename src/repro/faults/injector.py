@@ -45,6 +45,16 @@ class FaultInjector:
     nameserver_endpoints:
         Endpoints hosting the nameserver service, targeted by
         ``nameserver_failover`` events.
+    lease_manager:
+        Optional :class:`repro.fs.leases.LeaseManager` (``lease_expire``
+        faults); ``None`` for clusters without the write pipeline, where
+        those events no-op.
+    dataservers:
+        Optional mapping of host id to dataserver.  ``lease_expire``
+        additionally drops the target host's locally-cached grants, so
+        the revocation is a *full* one: the manager forgets the lease
+        and the (still-running) holder cannot keep committing from its
+        cache — its next commit re-acquires and sees the epoch bump.
     """
 
     def __init__(
@@ -54,12 +64,16 @@ class FaultInjector:
         fabric,
         collector=None,
         nameserver_endpoints: Optional[List[str]] = None,
+        lease_manager=None,
+        dataservers=None,
     ):
         self._loop = loop
         self._controller = controller
         self._fabric = fabric
         self._collector = collector
         self._ns_endpoints = list(nameserver_endpoints or [])
+        self._lease_manager = lease_manager
+        self._dataservers = dict(dataservers or {})
         self.events_applied = 0
         self.journal: List[AppliedEvent] = []
         self.flows_aborted_by_faults = 0
@@ -76,6 +90,8 @@ class FaultInjector:
             cluster.fabric,
             collector=collector,
             nameserver_endpoints=list(cluster.nameserver_endpoints),
+            lease_manager=getattr(cluster, "lease_manager", None),
+            dataservers=getattr(cluster, "dataservers", None),
         )
 
     def arm(self, plan: FaultPlan) -> int:
@@ -202,3 +218,11 @@ class FaultInjector:
     def _do_rpc_delay_restore(self, event: FaultEvent) -> str:
         self._fabric.delay_factor = 1.0
         return ""
+
+    def _do_lease_expire(self, event: FaultEvent) -> str:
+        if self._lease_manager is None:
+            return "no lease manager (write pipeline off); no-op"
+        expired = self._lease_manager.expire_host(event.target)
+        dataserver = self._dataservers.get(event.target)
+        revoked = dataserver.revoke_leases() if dataserver is not None else 0
+        return f"expired {expired} lease(s), revoked {revoked} cached grant(s)"

@@ -32,6 +32,10 @@ RECOVERY_OF = {
     "stats_poll_restore": None,
     "rpc_delay_spike": "rpc_delay_restore",
     "rpc_delay_restore": None,
+    # Instantaneous: voids every primary lease the target host holds.
+    # The host itself stays up — the adversarial case for write fencing,
+    # where a live primary keeps trying to commit on revoked authority.
+    "lease_expire": None,
 }
 
 EVENT_KINDS = frozenset(RECOVERY_OF)
@@ -130,6 +134,10 @@ class StormSpec:
     rpc_partitions: int = 0
     stats_poll_outages: int = 1
     rpc_delay_spikes: int = 0
+    #: Instantaneous lease revocations on random (unprotected) hosts —
+    #: exercises write fencing: the still-live old primary must never
+    #: commit again under its stale epoch.
+    lease_expiries: int = 0
     mean_outage: float = 5.0
     delay_spike_factor: float = 10.0
     #: Hosts that must never be crashed (e.g. the nameserver host when a
@@ -199,4 +207,6 @@ def build_storm(
                 magnitude=spec.delay_spike_factor,
             )
         )
+    for _ in range(spec.lease_expiries):
+        events.append(FaultEvent(when(), "lease_expire", rng.choice(host_ids)))
     return FaultPlan(tuple(events))

@@ -13,19 +13,25 @@ Standard GFS/HDFS-shaped components (§3.3):
 * :mod:`repro.fs.placement` — replica placement policies (the paper's
   evaluation placement and HDFS-style rack-aware placement);
 * :mod:`repro.fs.chunks` — file/chunk metadata structures;
-* :mod:`repro.fs.consistency` — sequential vs strong consistency (§3.4).
+* :mod:`repro.fs.consistency` — sequential vs strong consistency (§3.4);
+* :mod:`repro.fs.leases` — nameserver-granted primary leases with epoch
+  fencing, the authority substrate of the two-phase write pipeline.
 """
 
 from repro.fs.chunks import FileMetadata, chunk_count, chunk_ranges
 from repro.fs.client import MayflowerClient, ReadResult
 from repro.fs.consistency import ConsistencyMode
-from repro.fs.dataserver import Dataserver
+from repro.fs.dataserver import Dataserver, LedgerEntry
 from repro.fs.errors import (
     FileAlreadyExistsError,
     FileNotFoundFsError,
     FsError,
+    LeaseExpiredError,
+    NotPrimaryError,
     ReplicaUnavailableError,
+    StaleEpochError,
 )
+from repro.fs.leases import LeaseGrant, LeaseManager
 from repro.fs.membership import (
     HeartbeatSender,
     MembershipTracker,
@@ -43,13 +49,19 @@ __all__ = [
     "FsError",
     "HdfsRackAwarePlacement",
     "HeartbeatSender",
+    "LeaseExpiredError",
+    "LeaseGrant",
+    "LeaseManager",
+    "LedgerEntry",
     "MayflowerClient",
     "MembershipTracker",
     "Nameserver",
+    "NotPrimaryError",
     "ReplicaManager",
     "PaperEvalPlacement",
     "ReadResult",
     "ReplicaUnavailableError",
+    "StaleEpochError",
     "chunk_count",
     "chunk_ranges",
 ]

@@ -11,6 +11,7 @@ size so appended tails are discovered without another nameserver round-trip.
 
 from __future__ import annotations
 
+import itertools
 from random import Random
 from dataclasses import dataclass
 from typing import Dict, Generator, List, Optional, Sequence, Tuple
@@ -47,6 +48,26 @@ class ReadPlanner:
         client_host: str,
         metadata: FileMetadata,
         replicas: Sequence[str],
+        size_bytes: int,
+        job_id: Optional[str] = None,
+    ) -> Generator:
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+
+class WriteFanoutPlanner:
+    """Strategy choosing the replication fan-out shape for one append.
+
+    ``plan`` is a generator returning a
+    :class:`repro.core.fanout.FanoutPlan` — the push hop plus the relay
+    topology (chain, tree, or the static-chain fallback) the primary
+    should use for this append.
+    """
+
+    def plan(
+        self,
+        client_host: str,
+        metadata: FileMetadata,
         size_bytes: int,
         job_id: Optional[str] = None,
     ) -> Generator:
@@ -106,6 +127,8 @@ class MayflowerClient:
         max_read_attempts: int = 3,
         retry: Optional[RetryPolicy] = None,
         retry_rng: Optional[Random] = None,
+        write_pipeline: bool = False,
+        fanout_planner: Optional[WriteFanoutPlanner] = None,
     ):
         self.host_id = host_id
         self._loop = loop
@@ -127,6 +150,15 @@ class MayflowerClient:
         #: bit-for-bit, since no delays or RNG draws are ever introduced).
         self._retry = retry
         self._retry_rng = retry_rng
+        #: Use the two-phase lease-guarded append path (push_data +
+        #: commit_append) instead of the legacy one-shot append RPC.
+        self.write_pipeline = write_pipeline
+        #: Fan-out shape strategy for pipelined appends; ``None`` makes
+        #: the primary relay over the static metadata chain.
+        self._fanout_planner = fanout_planner
+        #: Monotonic source of client-unique append ids — the idempotence
+        #: tokens the primary dedups retried appends with.
+        self._append_seq = itertools.count()
         self._cache: Dict[str, _CacheEntry] = {}
         self.cache_hits = 0
         self.cache_misses = 0
@@ -134,6 +166,8 @@ class MayflowerClient:
         self.read_retries = 0
         self.read_resumptions = 0
         self.bytes_resumed = 0
+        self.append_retries = 0
+        self.append_failovers = 0
 
     # ------------------------------------------------------------------
     # Namespace operations
@@ -217,23 +251,241 @@ class MayflowerClient:
         self, name: str, size_bytes: int, data: Optional[bytes] = None,
         job_id: Optional[str] = None,
     ) -> Generator:
-        """Append to a file through its primary replica; returns new size."""
+        """Append to a file through its primary replica; returns new size.
+
+        Every append carries a client-unique ``append_id`` the primary
+        dedups against, so retries after an ``RpcTimeout`` (which may
+        have committed before the ack was lost) can never double-commit.
+        With ``write_pipeline`` enabled the append runs the two-phase
+        push/commit protocol over the planned fan-out topology;
+        otherwise the legacy one-shot append RPC is used — in both
+        cases, with the same retry/failover discipline reads already
+        have: transient failures (host down, timeout, fenced or demoted
+        primary) refresh the metadata and retry after backoff.
+        """
         if size_bytes <= 0:
             raise InvalidRequestError(f"append size must be positive: {size_bytes}")
-        metadata = yield from self._metadata(name)
-        new_size = yield from self._fabric.invoke(
-            self.host_id,
-            metadata.primary,
-            "dataserver",
-            "append",
-            metadata.file_id,
-            size_bytes,
-            self.host_id,
-            data,
-            job_id,
-        )
-        self._remember(name, metadata.with_size(new_size))
+        append_id = f"ap:{self.host_id}:{next(self._append_seq)}"
+        if self.write_pipeline:
+            new_size = yield from self._append_pipelined(
+                name, size_bytes, data, append_id, job_id
+            )
+        else:
+            new_size = yield from self._append_legacy(
+                name, size_bytes, data, append_id, job_id
+            )
         return new_size
+
+    def _append_legacy(
+        self,
+        name: str,
+        size_bytes: int,
+        data: Optional[bytes],
+        append_id: str,
+        job_id: Optional[str],
+    ) -> Generator:
+        """One-shot append with retry parity to the read path."""
+        policy = self._retry
+        rpc_timeout = policy.rpc_timeout if policy is not None else None
+        attempts = policy.max_attempts if policy is not None else 1
+        deadline = (
+            self._loop.now + policy.operation_deadline
+            if policy is not None and policy.operation_deadline is not None
+            else None
+        )
+        last_error: Optional[Exception] = None
+        metadata = yield from self._metadata(name)
+        for attempt_index in range(attempts):
+            if attempt_index > 0:
+                yield from self._append_backoff(attempt_index, name, deadline, last_error)
+                previous_primary = metadata.primary
+                metadata = yield from self.stat(name)
+                self._note_append_failover(previous_primary, metadata.primary)
+            try:
+                new_size = yield from self._fabric.invoke(
+                    self.host_id,
+                    metadata.primary,
+                    "dataserver",
+                    "append",
+                    metadata.file_id,
+                    size_bytes,
+                    self.host_id,
+                    data,
+                    job_id,
+                    append_id,
+                    rpc_timeout=rpc_timeout,
+                )
+                self._remember(name, metadata.with_size(new_size))
+                return new_size
+            except Exception as err:
+                if policy is None or not self._append_error_is_transient(err):
+                    raise
+                last_error = err
+        from repro.fs.errors import ReplicaUnavailableError
+
+        raise ReplicaUnavailableError(
+            f"append to {name!r} failed after {attempts} attempt(s): {last_error}"
+        )
+
+    def _append_pipelined(
+        self,
+        name: str,
+        size_bytes: int,
+        data: Optional[bytes],
+        append_id: str,
+        job_id: Optional[str],
+    ) -> Generator:
+        """Two-phase append: plan fan-out, push to primary, commit.
+
+        Each attempt re-plans — a retry after failover pushes to (and
+        commits at) whichever replica the refreshed metadata names as
+        primary, over a fan-out shape priced against the network state
+        at retry time.
+        """
+        from repro.core.fanout import static_chain_plan
+
+        policy = self._retry
+        rpc_timeout = policy.rpc_timeout if policy is not None else None
+        attempts = policy.max_attempts if policy is not None else 1
+        deadline = (
+            self._loop.now + policy.operation_deadline
+            if policy is not None and policy.operation_deadline is not None
+            else None
+        )
+        last_error: Optional[Exception] = None
+        metadata = yield from self._metadata(name)
+        for attempt_index in range(attempts):
+            if attempt_index > 0:
+                yield from self._append_backoff(attempt_index, name, deadline, last_error)
+                previous_primary = metadata.primary
+                metadata = yield from self.stat(name)
+                self._note_append_failover(previous_primary, metadata.primary)
+            try:
+                plan = None
+                if self._fanout_planner is not None:
+                    try:
+                        plan = yield from self._fanout_planner.plan(
+                            self.host_id, metadata, size_bytes, job_id=job_id
+                        )
+                    except Exception as planner_err:
+                        if not self._append_error_is_transient(planner_err):
+                            raise
+                        plan = None
+                if plan is None:
+                    plan = static_chain_plan(
+                        self.host_id, metadata.primary, metadata.replicas[1:]
+                    )
+                yield from self._fabric.invoke(
+                    self.host_id,
+                    plan.primary,
+                    "dataserver",
+                    "push_data",
+                    metadata.file_id,
+                    append_id,
+                    size_bytes,
+                    self.host_id,
+                    data,
+                    plan.push_path,
+                    job_id,
+                    rpc_timeout=rpc_timeout,
+                )
+                new_size = yield from self._fabric.invoke(
+                    self.host_id,
+                    plan.primary,
+                    "dataserver",
+                    "commit_append",
+                    metadata.file_id,
+                    append_id,
+                    self.host_id,
+                    plan.children,
+                    job_id,
+                    rpc_timeout=rpc_timeout,
+                )
+                self._remember(name, metadata.with_size(new_size))
+                return new_size
+            except Exception as err:
+                if policy is None or not self._append_error_is_transient(err):
+                    raise
+                last_error = err
+        from repro.fs.errors import ReplicaUnavailableError
+
+        raise ReplicaUnavailableError(
+            f"append to {name!r} failed after {attempts} attempt(s): {last_error}"
+        )
+
+    def _note_append_failover(self, previous_primary: str, primary: str) -> None:
+        """Count a retry whose refreshed metadata names a new primary."""
+        if primary != previous_primary:
+            self.append_failovers += 1
+            tel = instrument.TELEMETRY
+            if tel is not None:
+                tel.count("client_append_failovers_total")
+
+    def _append_backoff(
+        self,
+        attempt_index: int,
+        name: str,
+        deadline: Optional[float],
+        last_error: Optional[Exception],
+    ) -> Generator:
+        """Count, trace and sleep one append retry; enforce the deadline."""
+        policy = self._retry
+        if deadline is not None and self._loop.now > deadline:
+            from repro.fs.errors import OperationTimeoutError
+
+            raise OperationTimeoutError(
+                f"append to {name!r} exceeded its "
+                f"{policy.operation_deadline:.6g}s deadline: {last_error}"
+            )
+        self.append_retries += 1
+        tel = instrument.TELEMETRY
+        if tel is not None:
+            tel.instant(self._loop.now, "client.append.retry", "append",
+                        host=self.host_id, file=name,
+                        error=type(last_error).__name__ if last_error else None)
+            tel.count("client_append_retries_total")
+        delay = policy.backoff(attempt_index - 1, self._retry_rng)
+        if delay > 0:
+            yield Delay(delay)
+
+    @staticmethod
+    def _append_error_is_transient(err: Exception) -> bool:
+        """Whether an append failure can be cured by refresh-and-retry.
+
+        Host/timeout failures obviously retry.  Remote errors retry
+        unless the *root* remote exception is a logic error
+        (``InvalidRequestError``/``FileNotFoundFsError``) — fencing
+        signals (``NotPrimaryError``, ``LeaseExpiredError``,
+        ``StaleEpochError``) mean primaryship moved, which fresh
+        metadata resolves, and relay-chain failures wrap the transient
+        infrastructure error of whichever hop died.
+        """
+        from repro.fs.errors import (
+            FileNotFoundFsError,
+            LeaseExpiredError,
+            NotPrimaryError,
+            StaleEpochError,
+        )
+        from repro.rpc.errors import (
+            HostDownError,
+            RemoteInvocationError,
+            RpcTimeout,
+        )
+
+        if isinstance(err, (HostDownError, RpcTimeout)):
+            return True
+        if not isinstance(err, RemoteInvocationError):
+            return False
+        root: Optional[BaseException] = err
+        while isinstance(root, RemoteInvocationError):
+            root = root.remote_error
+        if root is None:
+            # The remote error type did not survive the wrap; assume
+            # infrastructure trouble and let the attempt budget bound us.
+            return True
+        if isinstance(root, (NotPrimaryError, LeaseExpiredError, StaleEpochError)):
+            return True
+        return not isinstance(root, (InvalidRequestError, FileNotFoundFsError))
 
     def read(
         self,

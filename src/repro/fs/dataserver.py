@@ -24,7 +24,14 @@ from dataclasses import dataclass, field
 from typing import Dict, Generator, List, Optional, Tuple
 
 from repro.fs.chunks import FileMetadata
-from repro.fs.errors import FileNotFoundFsError, InvalidRequestError
+from repro.fs.errors import (
+    FileNotFoundFsError,
+    InvalidRequestError,
+    LeaseExpiredError,
+    NotPrimaryError,
+    StaleEpochError,
+)
+from repro.fs.leases import LEASE_SERVICE, HeldLeaseTable, LeaseGrant
 from repro.net.simulator import FlowAborted
 from repro.sim import instrument
 from repro.sim.engine import EventLoop
@@ -53,6 +60,23 @@ class DataPlane:
         yield  # pragma: no cover
 
 
+@dataclass(frozen=True)
+class LedgerEntry:
+    """One committed append in a replica's per-file ledger.
+
+    The ledger is the write pipeline's audit trail: every applied append
+    records its id, the offset it landed at, its length and the lease
+    epoch under which it was committed.  Exactly-once verification walks
+    these — an acked append must appear exactly once, at one offset, on
+    every replica.
+    """
+
+    append_id: str
+    offset: int
+    length: int
+    epoch: int
+
+
 @dataclass
 class StoredFile:
     """One file replica on this dataserver."""
@@ -63,6 +87,20 @@ class StoredFile:
     payload: Optional[bytearray] = None  # real bytes when store_payload
     appending: bool = False
     append_waiters: List[Signal] = field(default_factory=list)
+    #: Highest lease epoch observed for this file (commits and relays
+    #: carrying an older epoch are fenced off).
+    epoch: int = 0
+    #: Ordered audit trail of applied appends.
+    ledger: List[LedgerEntry] = field(default_factory=list)
+    #: append_id -> (offset, length) for every locally-applied append —
+    #: the idempotence index retried commits and relays dedup against.
+    applied_ids: Dict[str, Tuple[int, int]] = field(default_factory=dict)
+    #: append_id -> post-append file size for appends this host (as
+    #: primary) fully replicated and recorded; a retried commit of one of
+    #: these returns the recorded size without touching anything.
+    acked_ids: Dict[str, int] = field(default_factory=dict)
+    #: append_id -> (length, data) staged by ``push_data`` awaiting commit.
+    staged: Dict[str, Tuple[int, Optional[bytes]]] = field(default_factory=dict)
 
 
 @dataclass(frozen=True)
@@ -87,6 +125,7 @@ class Dataserver:
         dataplane: DataPlane,
         store_payload: bool = False,
         nameserver_endpoint: Optional[str] = None,
+        lease_endpoint: Optional[str] = None,
     ):
         self.host_id = host_id
         self._loop = loop
@@ -94,9 +133,21 @@ class Dataserver:
         self._dataplane = dataplane
         self.store_payload = store_payload
         self._nameserver = nameserver_endpoint
+        #: Where the lease service lives; ``None`` leaves the write
+        #: pipeline un-leased (metadata primaryship is trusted, as in the
+        #: legacy single-phase append).
+        self._lease_endpoint = lease_endpoint
+        self._held_leases = HeldLeaseTable(loop)
         self._files: Dict[str, StoredFile] = {}
         self.appends_served = 0
         self.reads_served = 0
+        self.pushes_staged = 0
+        self.pipelined_appends_served = 0
+        self.appends_deduplicated = 0
+        self.catch_ups_served = 0
+        self.relays_caught_up = 0
+        self.truncations = 0
+        self.lease_fencings = 0
 
     # ------------------------------------------------------------------
     # File lifecycle (control plane)
@@ -139,7 +190,9 @@ class Dataserver:
         result = []
         for stored in self._files.values():
             meta = stored.metadata.with_size(stored.size_bytes)
-            result.append(meta.to_json_dict())
+            meta_dict = meta.to_json_dict()
+            meta_dict["epoch"] = stored.epoch
+            result.append(meta_dict)
         return sorted(result, key=lambda m: m["file_id"])
 
     # ------------------------------------------------------------------
@@ -153,36 +206,62 @@ class Dataserver:
         from_host: str,
         data: Optional[bytes] = None,
         job_id: Optional[str] = None,
+        append_id: Optional[str] = None,
     ) -> Generator:
         """Primary-side append: receive, commit locally, relay to replicas.
 
         Appends to the same file are serialized (atomic append); the reply
         is the file's new size after this append commits on every replica.
+
+        ``append_id`` is the client's idempotence token: a retry of an
+        append this primary already applied skips the re-commit (and a
+        retry of one it already fully acknowledged returns the recorded
+        size immediately), so an append resent after an ``RpcTimeout``
+        can never double-commit.
         """
         stored = self._stored(file_id)
         if size_bytes <= 0:
             raise InvalidRequestError(f"append size must be positive, got {size_bytes}")
         if data is not None and len(data) != size_bytes:
             raise InvalidRequestError("append data length does not match size")
+        if append_id is not None and append_id in stored.acked_ids:
+            self.appends_deduplicated += 1
+            self._count("ds_appends_deduplicated_total")
+            return stored.acked_ids[append_id]
         if stored.metadata.primary != self.host_id:
-            raise InvalidRequestError(
+            raise NotPrimaryError(
                 f"append sent to non-primary {self.host_id} "
                 f"(primary is {stored.metadata.primary})"
             )
 
         yield from self._acquire_append_lock(stored)
         try:
-            # 1. Pull the data from the writer.
-            yield from self._dataplane.transfer(
-                from_host, self.host_id, size_bytes, job_id=job_id
-            )
-            # 2. Commit locally.
-            self._commit_append(stored, size_bytes, data)
+            already = append_id is not None and append_id in stored.applied_ids
+            if already:
+                self.appends_deduplicated += 1
+                self._count("ds_appends_deduplicated_total")
+            else:
+                # 1. Pull the data from the writer.
+                yield from self._dataplane.transfer(
+                    from_host, self.host_id, size_bytes, job_id=job_id
+                )
+                # 2. Commit locally.
+                offset = stored.size_bytes
+                self._commit_append(stored, size_bytes, data)
+                if append_id is not None:
+                    entry = LedgerEntry(
+                        append_id=append_id, offset=offset,
+                        length=size_bytes, epoch=stored.epoch,
+                    )
+                    stored.ledger.append(entry)
+                    stored.applied_ids[append_id] = (offset, size_bytes)
             # 3. Relay to the secondary replicas (in parallel).
             relays = []
             for replica in stored.metadata.replicas[1:]:
                 relays.append(
-                    self._spawn_relay(replica, stored, size_bytes, data, job_id)
+                    self._spawn_relay(
+                        replica, stored, size_bytes, data, job_id, append_id
+                    )
                 )
             for proc in relays:
                 yield proc
@@ -197,6 +276,8 @@ class Dataserver:
                     stored.metadata.name,
                     stored.size_bytes,
                 )
+            if append_id is not None:
+                stored.acked_ids[append_id] = stored.size_bytes
             self.appends_served += 1
             tel = instrument.TELEMETRY
             if tel is not None:
@@ -215,18 +296,520 @@ class Dataserver:
         from_host: str,
         data: Optional[bytes] = None,
         job_id: Optional[str] = None,
+        append_id: Optional[str] = None,
     ) -> Generator:
         """Secondary-side append: receive relayed data and commit."""
         stored = self._stored(file_id)
         yield from self._acquire_append_lock(stored)
         try:
+            if append_id is not None and append_id in stored.applied_ids:
+                self.appends_deduplicated += 1
+                self._count("ds_appends_deduplicated_total")
+                return stored.size_bytes
             yield from self._dataplane.transfer(
                 from_host, self.host_id, size_bytes, job_id=job_id
             )
+            offset = stored.size_bytes
             self._commit_append(stored, size_bytes, data)
+            if append_id is not None:
+                entry = LedgerEntry(
+                    append_id=append_id, offset=offset,
+                    length=size_bytes, epoch=stored.epoch,
+                )
+                stored.ledger.append(entry)
+                stored.applied_ids[append_id] = (offset, size_bytes)
             return stored.size_bytes
         finally:
             self._release_append_lock(stored)
+
+    # ------------------------------------------------------------------
+    # Two-phase, lease-guarded write pipeline
+    # ------------------------------------------------------------------
+    #
+    # The pipelined append splits the legacy one-shot ``append`` into
+    #
+    #   1. ``push_data``   — the writer streams the bytes to the primary,
+    #      which *stages* them under the client's append id (no ordering,
+    #      no lock, no visibility to readers);
+    #   2. ``commit_append`` — the primary validates its lease (fencing),
+    #      serializes the append under the per-file lock, stamps the
+    #      current lease epoch, fans the commit out over the relay
+    #      topology the Flowserver planned, reports the epoch-stamped
+    #      size to the nameserver, and only then acknowledges.
+    #
+    # Secondaries (``relay_append``) fence stale epochs, repair
+    # themselves before applying — catching up missed commits from the
+    # relay parent (``serve_catch_up``) and truncating diverged tails a
+    # fenced-out primary left behind — and forward down chain topologies.
+    # Every applied append lands in the replica's :class:`LedgerEntry`
+    # list, the audit trail exactly-once verification checks.
+
+    def push_data(
+        self,
+        file_id: str,
+        append_id: str,
+        size_bytes: int,
+        from_host: str,
+        data: Optional[bytes] = None,
+        path=None,
+        job_id: Optional[str] = None,
+    ) -> Generator:
+        """Phase one: stage the writer's bytes under ``append_id``.
+
+        Staging is idempotent and lock-free — the bytes become visible
+        only when ``commit_append`` orders them.  A push for an append
+        that already committed is a no-op (the retry's commit will dedup).
+        """
+        stored = self._stored(file_id)
+        if size_bytes <= 0:
+            raise InvalidRequestError(f"append size must be positive, got {size_bytes}")
+        if data is not None and len(data) != size_bytes:
+            raise InvalidRequestError("append data length does not match size")
+        if append_id in stored.acked_ids or append_id in stored.applied_ids:
+            return stored.size_bytes
+        yield from self._dataplane.transfer(
+            from_host, self.host_id, size_bytes, path=path, job_id=job_id
+        )
+        stored.staged[append_id] = (
+            size_bytes, bytes(data) if data is not None else None
+        )
+        self.pushes_staged += 1
+        self._count("ds_pushes_staged_total")
+        return size_bytes
+
+    def commit_append(
+        self,
+        file_id: str,
+        append_id: str,
+        from_host: str,
+        children=(),
+        job_id: Optional[str] = None,
+    ) -> Generator:
+        """Phase two: order, stamp, relay, record, acknowledge.
+
+        ``children`` is the relay topology (a tuple of
+        :class:`repro.core.fanout.RelayNode`) the Flowserver planned —
+        the primary's direct relay targets, each possibly carrying its
+        own onward chain.  The append is acknowledged only after every
+        replica in the topology applied it and the nameserver accepted
+        the epoch-stamped size; a retry of an already-acknowledged
+        append returns the recorded size untouched.
+        """
+        stored = self._stored(file_id)
+        if append_id in stored.acked_ids:
+            self.appends_deduplicated += 1
+            self._count("ds_appends_deduplicated_total")
+            return stored.acked_ids[append_id]
+        epoch = yield from self._ensure_lease(stored)
+        yield from self._acquire_append_lock(stored)
+        try:
+            if append_id in stored.applied_ids:
+                # Applied by an earlier (timed-out or relay-failed)
+                # attempt — or relayed to us before we were promoted.
+                offset, length = stored.applied_ids[append_id]
+                self.appends_deduplicated += 1
+                self._count("ds_appends_deduplicated_total")
+            else:
+                staged = stored.staged.get(append_id)
+                if staged is None:
+                    raise InvalidRequestError(
+                        f"commit of unstaged append {append_id!r} "
+                        f"(push_data must precede commit_append)"
+                    )
+                length, data = staged
+                offset = stored.size_bytes
+                self._apply_entry(
+                    stored,
+                    LedgerEntry(
+                        append_id=append_id, offset=offset,
+                        length=length, epoch=epoch,
+                    ),
+                    data,
+                )
+            relay_data = self._entry_bytes(stored, append_id, offset, length)
+            entry = LedgerEntry(
+                append_id=append_id, offset=offset, length=length, epoch=epoch
+            )
+            yield from self._relay_to_children(
+                stored, entry, relay_data, children, job_id
+            )
+            if self._nameserver is not None:
+                try:
+                    yield from self._fabric.invoke(
+                        self.host_id,
+                        self._nameserver,
+                        "nameserver",
+                        "record_append",
+                        stored.metadata.name,
+                        stored.size_bytes,
+                        epoch,
+                        self.host_id,
+                    )
+                except Exception as err:
+                    remote = getattr(err, "remote_error", None)
+                    if isinstance(remote, StaleEpochError):
+                        # Fenced at the nameserver: our authority lapsed
+                        # between the lease check and the record.  The
+                        # append is NOT acknowledged; the current primary
+                        # repairs our tail on its next relay.
+                        self.lease_fencings += 1
+                        self._count("ds_lease_fencings_total")
+                        raise remote
+                    raise
+            new_size = stored.size_bytes
+            stored.acked_ids[append_id] = new_size
+            stored.staged.pop(append_id, None)
+            self.pipelined_appends_served += 1
+            self.appends_served += 1
+            tel = instrument.TELEMETRY
+            if tel is not None:
+                tel.instant(self._loop.now, "ds.commit_append", "ds",
+                            host=self.host_id, file=stored.metadata.name,
+                            append=append_id, epoch=epoch, size=new_size)
+                tel.count("ds_pipelined_appends_total")
+            return new_size
+        finally:
+            self._release_append_lock(stored)
+
+    def relay_append(
+        self,
+        file_id: str,
+        append_id: str,
+        size_bytes: int,
+        from_host: str,
+        data: Optional[bytes],
+        expected_offset: int,
+        epoch: int,
+        path=None,
+        children=(),
+        job_id: Optional[str] = None,
+    ) -> Generator:
+        """Secondary-side pipelined commit: fence, repair, apply, forward.
+
+        ``expected_offset`` is where the parent committed this append.
+        A replica that is *behind* (missed earlier commits, e.g. a relay
+        that failed mid-storm) first catches the gap up from the parent;
+        one that is *ahead* carries a diverged tail written by a since-
+        fenced primary and truncates it — the carried epoch, already
+        validated against this replica's highest-seen epoch, is the
+        authority for that repair.
+        """
+        stored = self._stored(file_id)
+        if epoch < stored.epoch:
+            self.lease_fencings += 1
+            self._count("ds_lease_fencings_total")
+            raise StaleEpochError(
+                f"relay of {append_id!r} at epoch {epoch} rejected by "
+                f"{self.host_id} (local epoch {stored.epoch})"
+            )
+        yield from self._acquire_append_lock(stored)
+        try:
+            stored.epoch = max(stored.epoch, epoch)
+            if append_id in stored.applied_ids:
+                self.appends_deduplicated += 1
+                self._count("ds_appends_deduplicated_total")
+            else:
+                if stored.size_bytes > expected_offset:
+                    self._truncate(stored, expected_offset)
+                if stored.size_bytes < expected_offset:
+                    yield from self._catch_up(
+                        stored, from_host, expected_offset, job_id
+                    )
+                if stored.size_bytes != expected_offset:
+                    raise InvalidRequestError(
+                        f"replica {self.host_id} failed to converge to "
+                        f"offset {expected_offset} for {append_id!r} "
+                        f"(at {stored.size_bytes})"
+                    )
+                yield from self._dataplane.transfer(
+                    from_host, self.host_id, size_bytes, path=path,
+                    job_id=job_id,
+                )
+                self._apply_entry(
+                    stored,
+                    LedgerEntry(
+                        append_id=append_id, offset=expected_offset,
+                        length=size_bytes, epoch=epoch,
+                    ),
+                    data,
+                )
+            # Forward down the chain even when we deduped: our children
+            # may have missed the commit we already have.
+            entry = LedgerEntry(
+                append_id=append_id, offset=expected_offset,
+                length=size_bytes, epoch=epoch,
+            )
+            relay_data = self._entry_bytes(
+                stored, append_id, expected_offset, size_bytes
+            )
+            yield from self._relay_to_children(
+                stored, entry, relay_data, children, job_id
+            )
+            return stored.size_bytes
+        finally:
+            self._release_append_lock(stored)
+
+    def serve_catch_up(
+        self,
+        file_id: str,
+        offset: int,
+        upto: int,
+        to_host: str,
+        job_id: Optional[str] = None,
+    ) -> Generator:
+        """Stream the committed range ``[offset, upto)`` plus its ledger.
+
+        The repair source side: a behind replica pulls the commits it
+        missed before applying a new one.  Only reads committed state —
+        no locks taken, so a primary mid-commit can serve catch-ups for
+        the offsets below the append it is relaying.
+        """
+        stored = self._stored(file_id)
+        upto = min(upto, stored.size_bytes)
+        if offset < 0 or offset > upto:
+            raise InvalidRequestError(
+                f"invalid catch-up range [{offset}, {upto}) of "
+                f"{stored.size_bytes}-byte replica"
+            )
+        entries = [e for e in stored.ledger if offset <= e.offset < upto]
+        length = upto - offset
+        if length > 0:
+            yield from self._dataplane.transfer(
+                self.host_id, to_host, length, job_id=job_id
+            )
+        data = (
+            bytes(stored.payload[offset:upto])
+            if stored.payload is not None
+            else None
+        )
+        self.catch_ups_served += 1
+        self._count("ds_catch_ups_served_total")
+        return {"offset": offset, "upto": upto, "entries": entries,
+                "data": data, "epoch": stored.epoch}
+
+    def append_ledger(self, file_id: str) -> List[LedgerEntry]:
+        """This replica's ordered append ledger (verification RPC)."""
+        return list(self._stored(file_id).ledger)
+
+    def update_replica_set(self, file_id: str, replicas) -> bool:
+        """Refresh local metadata after the replica manager rewrote it.
+
+        Keeps the dataserver's notion of the replica set (and thus its
+        metadata-primaryship fallback and legacy relay targets) in sync
+        with the nameserver after failover promotion or re-replication.
+        """
+        stored = self._files.get(file_id)
+        if stored is None:
+            return False
+        from dataclasses import replace
+
+        stored.metadata = replace(stored.metadata, replicas=tuple(replicas))
+        return True
+
+    def held_lease(self, file_id: str) -> Optional[LeaseGrant]:
+        """The live locally-cached lease for a file, if any (introspection)."""
+        return self._held_leases.valid(file_id)
+
+    def revoke_leases(self) -> int:
+        """Drop every cached lease grant (revocation fault delivery).
+
+        The next commit on each file re-acquires from the manager and
+        observes the revocation's epoch bump.  Returns the number of
+        cached grants dropped.
+        """
+        return self._held_leases.revoke_all()
+
+    def _ensure_lease(self, stored: StoredFile) -> Generator:
+        """Validate this host's authority to order appends; returns epoch.
+
+        With leasing armed, a locally-valid grant is the fast path;
+        otherwise the manager is asked — which either refreshes the grant
+        (we still hold the lease, or it lapsed with no other claimant)
+        or fences us out with :class:`LeaseExpiredError`.  Without
+        leasing, metadata primaryship is the (unfenced) authority.
+        """
+        file_id = stored.metadata.file_id
+        if self._lease_endpoint is None:
+            if stored.metadata.primary != self.host_id:
+                raise NotPrimaryError(
+                    f"commit sent to non-primary {self.host_id} "
+                    f"(primary is {stored.metadata.primary})"
+                )
+            return stored.epoch
+        if self.host_id not in stored.metadata.replicas:
+            raise NotPrimaryError(
+                f"{self.host_id} is no longer a replica of "
+                f"{stored.metadata.name!r}"
+            )
+        grant = self._held_leases.valid(file_id)
+        if grant is None:
+            try:
+                grant_dict = yield from self._fabric.invoke(
+                    self.host_id,
+                    self._lease_endpoint,
+                    LEASE_SERVICE,
+                    "acquire",
+                    file_id,
+                    self.host_id,
+                )
+            except Exception as err:
+                remote = getattr(err, "remote_error", None)
+                if isinstance(remote, LeaseExpiredError):
+                    self.lease_fencings += 1
+                    self._count("ds_lease_fencings_total")
+                    self._held_leases.drop(file_id)
+                    raise remote
+                raise
+            grant = LeaseGrant.from_json_dict(grant_dict)
+            self._held_leases.install(grant)
+        stored.epoch = max(stored.epoch, grant.epoch)
+        return grant.epoch
+
+    def _apply_entry(
+        self, stored: StoredFile, entry: LedgerEntry, data: Optional[bytes]
+    ) -> None:
+        if entry.offset != stored.size_bytes:
+            raise InvalidRequestError(
+                f"append {entry.append_id!r} applies at {entry.offset}, "
+                f"replica is at {stored.size_bytes}"
+            )
+        self._commit_append(stored, entry.length, data)
+        stored.ledger.append(entry)
+        stored.applied_ids[entry.append_id] = (entry.offset, entry.length)
+
+    def _entry_bytes(
+        self, stored: StoredFile, append_id: str, offset: int, length: int
+    ) -> Optional[bytes]:
+        """The payload bytes of one applied append (for relays/retries)."""
+        staged = stored.staged.get(append_id)
+        if staged is not None and staged[1] is not None:
+            return staged[1]
+        if stored.payload is not None:
+            return bytes(stored.payload[offset : offset + length])
+        return None
+
+    def _truncate(self, stored: StoredFile, new_size: int) -> None:
+        """Cut a diverged tail back to ``new_size``, purging its ledger.
+
+        Purging ``applied_ids`` alongside the entries is what keeps a
+        re-relayed append (whose offset changed after an interleaved
+        commit) from being wrongly deduplicated against its dead first
+        incarnation.
+        """
+        if new_size >= stored.size_bytes:
+            return
+        if any(e.offset < new_size < e.offset + e.length for e in stored.ledger):
+            raise InvalidRequestError(
+                f"truncation to {new_size} would split a ledger entry"
+            )
+        removed = [e for e in stored.ledger if e.offset >= new_size]
+        for entry in removed:
+            stored.applied_ids.pop(entry.append_id, None)
+            stored.acked_ids.pop(entry.append_id, None)
+        stored.ledger = [e for e in stored.ledger if e.offset < new_size]
+        chunk_bytes = stored.metadata.chunk_bytes
+        chunks: List[int] = []
+        remaining = new_size
+        while remaining > 0:
+            take = min(chunk_bytes, remaining)
+            chunks.append(take)
+            remaining -= take
+        stored.chunks = chunks
+        stored.size_bytes = new_size
+        if stored.payload is not None:
+            del stored.payload[new_size:]
+        self.truncations += 1
+        self._count("ds_truncations_total")
+        tel = instrument.TELEMETRY
+        if tel is not None:
+            tel.instant(self._loop.now, "ds.truncate", "ds",
+                        host=self.host_id, file=stored.metadata.name,
+                        size=new_size, purged=len(removed))
+
+    def _catch_up(
+        self,
+        stored: StoredFile,
+        source: str,
+        upto: int,
+        job_id: Optional[str],
+    ) -> Generator:
+        """Pull and apply the commits in ``[size, upto)`` from ``source``."""
+        reply = yield from self._fabric.invoke(
+            self.host_id,
+            source,
+            "dataserver",
+            "serve_catch_up",
+            stored.metadata.file_id,
+            stored.size_bytes,
+            upto,
+            self.host_id,
+            job_id,
+        )
+        base = reply["offset"]
+        blob = reply["data"]
+        for entry in reply["entries"]:
+            if entry.append_id in stored.applied_ids:
+                continue
+            chunk = (
+                blob[entry.offset - base : entry.offset - base + entry.length]
+                if blob is not None
+                else None
+            )
+            self._apply_entry(stored, entry, chunk)
+        stored.epoch = max(stored.epoch, reply["epoch"])
+        self.relays_caught_up += 1
+        self._count("ds_relays_caught_up_total")
+        tel = instrument.TELEMETRY
+        if tel is not None:
+            tel.instant(self._loop.now, "ds.catch_up", "ds",
+                        host=self.host_id, file=stored.metadata.name,
+                        source=source, upto=upto)
+
+    def _relay_to_children(
+        self,
+        stored: StoredFile,
+        entry: LedgerEntry,
+        data: Optional[bytes],
+        children,
+        job_id: Optional[str],
+    ) -> Generator:
+        """Fan one commit out to the planned relay children, in parallel."""
+        if not children:
+            return
+        procs = [
+            self._spawn_pipeline_relay(stored, entry, data, child, job_id)
+            for child in children
+        ]
+        for proc in procs:
+            yield proc
+
+    def _spawn_pipeline_relay(self, stored, entry, data, child, job_id):
+        from repro.sim.process import Process
+
+        def relay():
+            result = yield from self._fabric.invoke(
+                self.host_id,
+                child.host,
+                "dataserver",
+                "relay_append",
+                stored.metadata.file_id,
+                entry.append_id,
+                entry.length,
+                self.host_id,
+                data,
+                entry.offset,
+                entry.epoch,
+                child.path,
+                tuple(child.children),
+                job_id,
+            )
+            return result
+
+        return Process(
+            self._loop,
+            relay(),
+            name=f"pipe-relay:{stored.metadata.file_id}->{child.host}",
+        )
 
     # ------------------------------------------------------------------
     # Reads
@@ -305,19 +888,40 @@ class Dataserver:
             metadata.to_json_dict(),
             stored.size_bytes,
             payload,
+            list(stored.ledger),
+            stored.epoch,
         )
         return result
 
     def install_replica(
-        self, metadata_dict: dict, size_bytes: int, payload: Optional[bytes] = None
+        self,
+        metadata_dict: dict,
+        size_bytes: int,
+        payload: Optional[bytes] = None,
+        ledger: Optional[List[LedgerEntry]] = None,
+        epoch: int = 0,
     ) -> str:
-        """Receive a pushed replica: create the file and commit its bytes."""
+        """Receive a pushed replica: create the file and commit its bytes.
+
+        When the source shipped its append ledger the new replica adopts
+        it (with the source's epoch), so exactly-once verification and
+        dedup survive re-replication.
+        """
         file_id = self.create_file(metadata_dict)
         stored = self._stored(file_id)
         if stored.size_bytes < size_bytes:
             delta = size_bytes - stored.size_bytes
             data = payload[stored.size_bytes:] if payload is not None else None
             self._commit_append(stored, delta, data)
+        if ledger is not None:
+            for entry in ledger:
+                if entry.append_id not in stored.applied_ids:
+                    stored.ledger.append(entry)
+                    stored.applied_ids[entry.append_id] = (
+                        entry.offset, entry.length,
+                    )
+            stored.ledger.sort(key=lambda e: e.offset)
+        stored.epoch = max(stored.epoch, epoch)
         return file_id
 
     def load_preexisting(self, file_id: str, size_bytes: int) -> None:
@@ -400,6 +1004,7 @@ class Dataserver:
         size_bytes: int,
         data: Optional[bytes],
         job_id: Optional[str],
+        append_id: Optional[str] = None,
     ):
         from repro.sim.process import Process
 
@@ -414,9 +1019,15 @@ class Dataserver:
                 self.host_id,
                 data,
                 job_id,
+                append_id,
             )
             return result
 
         return Process(
             self._loop, relay(), name=f"relay:{stored.metadata.file_id}->{replica}"
         )
+
+    def _count(self, name: str, amount: float = 1.0) -> None:
+        tel = instrument.TELEMETRY
+        if tel is not None:
+            tel.count(name, amount)

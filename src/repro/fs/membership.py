@@ -32,19 +32,33 @@ MEMBERSHIP_SERVICE = "membership"
 
 
 class MembershipTracker:
-    """Heartbeat registry; registered as an RPC service."""
+    """Heartbeat registry; registered as an RPC service.
 
-    def __init__(self, loop: EventLoop, expected_hosts: Sequence[str]):
+    With a :class:`~repro.fs.leases.LeaseManager` attached, every
+    heartbeat also renews the sender's primary leases — the write
+    pipeline's liveness signal rides the membership beacon instead of
+    adding a second periodic RPC per file.
+    """
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        expected_hosts: Sequence[str],
+        lease_manager=None,
+    ):
         self._loop = loop
         self._last_seen: Dict[str, float] = {
             host: loop.now for host in expected_hosts
         }
+        self._lease_manager = lease_manager
         self.heartbeats_received = 0
 
     def heartbeat(self, host_id: str) -> float:
         """RPC handler: a dataserver announced it is alive."""
         self._last_seen[host_id] = self._loop.now
         self.heartbeats_received += 1
+        if self._lease_manager is not None:
+            self._lease_manager.renew_for_host(host_id)
         return self._loop.now
 
     def last_seen(self, host_id: str) -> Optional[float]:
@@ -130,6 +144,7 @@ class ReplicaManager:
         rng: Random,
         check_interval: float = 10.0,
         heartbeat_timeout: float = 15.0,
+        lease_manager=None,
     ):
         self._loop = loop
         self._fabric = fabric
@@ -140,8 +155,13 @@ class ReplicaManager:
         self._rng = rng
         self.check_interval = check_interval
         self.heartbeat_timeout = heartbeat_timeout
+        #: When set, a repair that moves primaryship also moves the lease
+        #: (with an epoch bump) so the promoted survivor can commit
+        #: immediately and the dead primary's epoch is fenced.
+        self._lease_manager = lease_manager
         self.repairs_completed = 0
         self.files_lost = 0
+        self.promotions = 0
         self._repair_in_flight = False
         self._timer = PeriodicTimer(loop, check_interval, self._tick)
 
@@ -210,6 +230,27 @@ class ReplicaManager:
         outcome = self._nameserver.update_replicas(metadata.name, new_replicas)
         if inspect.isgenerator(outcome):
             yield from outcome
+        if new_replicas[0] != metadata.primary and self._lease_manager is not None:
+            self._lease_manager.promote(metadata.file_id, new_replicas[0])
+            self.promotions += 1
+        # Tell the surviving replicas about the rewritten set so their
+        # local metadata (primaryship fallback, legacy relay targets)
+        # matches the nameserver's.  Best-effort: a host that is briefly
+        # unreachable will learn the set on its next catch-up/relay.
+        from repro.rpc.errors import RpcError
+
+        for replica in new_replicas:
+            try:
+                yield from self._fabric.invoke(
+                    self._endpoint,
+                    replica,
+                    "dataserver",
+                    "update_replica_set",
+                    metadata.file_id,
+                    list(new_replicas),
+                )
+            except RpcError:
+                continue
         self.repairs_completed += 1
         return True
 

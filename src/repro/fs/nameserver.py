@@ -60,9 +60,14 @@ class Nameserver:
         self._db = KVStore(Path(db_directory), KVStoreConfig(sync_wal=False))
         self._placement = placement
         self._rng = rng or seeded_rng(0)
+        #: When the lease-guarded write pipeline is armed, the cluster
+        #: attaches its :class:`repro.fs.leases.LeaseManager` here so
+        #: epoch-stamped ``record_append`` reports can be fenced.
+        self.lease_manager = None
         self.creates = 0
         self.deletes = 0
         self.lookups = 0
+        self.fenced_records = 0
 
     # ------------------------------------------------------------------
     # RPC surface
@@ -170,12 +175,32 @@ class Nameserver:
         self._db.put(_FILE_PREFIX + dst_name, json.dumps(moved.to_json_dict()))
         return {"moved": moved.to_json_dict(), "replaced": replaced}
 
-    def record_append(self, name: str, new_size_bytes: int) -> int:
-        """Primary dataserver reports a committed append; size is monotonic."""
+    def record_append(
+        self,
+        name: str,
+        new_size_bytes: int,
+        epoch: Optional[int] = None,
+        primary: Optional[str] = None,
+    ) -> int:
+        """Primary dataserver reports a committed append; size is monotonic.
+
+        Pipelined appends additionally carry the primary's lease
+        ``epoch`` and identity: with a :class:`LeaseManager` attached,
+        the report is validated against the current lease before the
+        size moves — the nameserver-side half of write fencing.  A
+        fenced-out primary's report raises
+        :class:`~repro.fs.errors.StaleEpochError` and changes nothing.
+        """
         raw = self._db.get(_FILE_PREFIX + name)
         if raw is None:
             raise FileNotFoundFsError(f"no file named {name!r}")
         metadata = FileMetadata.from_json_dict(json.loads(raw))
+        if epoch is not None and primary is not None and self.lease_manager is not None:
+            try:
+                self.lease_manager.validate(metadata.file_id, primary, epoch)
+            except Exception:
+                self.fenced_records += 1
+                raise
         if new_size_bytes < metadata.size_bytes:
             raise InvalidRequestError(
                 f"append would shrink {name!r}: "
@@ -219,8 +244,15 @@ class Nameserver:
         """Unexpected-restart path: rebuild mappings by scanning dataservers.
 
         Clears the (possibly stale) database and repopulates it from the
-        metadata each dataserver stores alongside its chunks.  The primary
-        replica's reported size wins (it ordered every append).
+        metadata each dataserver stores alongside its chunks.  Replica
+        preference, highest wins:
+
+        1. **lease epoch** — a replica that saw a higher epoch post-dates
+           any promotion, so a stale pre-failover primary that rejoins
+           with a long (diverged, since-truncated-elsewhere) tail cannot
+           outvote the survivors;
+        2. primary flag (the metadata primary ordered every append);
+        3. reported size (largest committed length seen).
         """
         for key, _ in list(self._db.scan(_FILE_PREFIX)):
             self._db.delete(key)
@@ -231,17 +263,24 @@ class Nameserver:
             )
             for metadata_dict in listings:
                 metadata = FileMetadata.from_json_dict(metadata_dict)
+                epoch = int(metadata_dict.get("epoch", 0))
                 existing = recovered.get(metadata.name)
-                # Trust the primary's size; otherwise keep the largest seen.
                 if existing is None:
-                    recovered[metadata.name] = (metadata, host == metadata.primary)
-                else:
-                    current, from_primary = existing
+                    recovered[metadata.name] = (
+                        metadata, epoch, host == metadata.primary
+                    )
+                    continue
+                current, cur_epoch, from_primary = existing
+                if epoch > cur_epoch:
+                    recovered[metadata.name] = (
+                        metadata, epoch, host == metadata.primary
+                    )
+                elif epoch == cur_epoch:
                     if host == metadata.primary:
-                        recovered[metadata.name] = (metadata, True)
+                        recovered[metadata.name] = (metadata, epoch, True)
                     elif not from_primary and metadata.size_bytes > current.size_bytes:
-                        recovered[metadata.name] = (metadata, False)
-        for name, (metadata, _) in sorted(recovered.items()):
+                        recovered[metadata.name] = (metadata, epoch, False)
+        for name, (metadata, _, _) in sorted(recovered.items()):
             self._db.put(_FILE_PREFIX + name, json.dumps(metadata.to_json_dict()))
         return len(recovered)
 
