@@ -10,6 +10,7 @@ fallback) and Nearest-ECMP.  Assertions: every read completes despite the
 storm, and Mayflower's mean completion time still beats ECMP's.
 """
 
+import math
 import shutil
 import tempfile
 from pathlib import Path
@@ -134,7 +135,7 @@ def test_fault_storm(benchmark, bench_scale):
     # reaching here already implies zero unhandled exceptions).
     for scheme, data in result["schemes"].items():
         assert len(data["durations"]) == jobs, scheme
-        assert data["resilience"]["availability"] == 1.0, scheme
+        assert math.isclose(data["resilience"]["availability"], 1.0), scheme
 
     # Contract 2: the storm actually happened and actually hurt — faults
     # fired and the resilience machinery did real work.

@@ -6,14 +6,13 @@ recomputation, event-loop throughput, routing enumeration and kvstore
 writes.
 """
 
-import random
-
 import pytest
 
 from repro.core import FlowStateTable, TrackedFlow, select_replica_and_path
 from repro.core.cost import flow_cost
 from repro.net import RoutingTable, max_min_fair_rates, three_tier
 from repro.sim import EventLoop
+from repro.sim.randomness import seeded_rng
 
 MBPS = 1e6
 
@@ -25,7 +24,7 @@ def loaded_state():
     routing = RoutingTable(topo)
     capacities = {lid: link.capacity_bps for lid, link in topo.links.items()}
     state = FlowStateTable()
-    rng = random.Random(1)
+    rng = seeded_rng(1)
     hosts = sorted(topo.hosts)
     for i in range(60):
         src, dst = rng.sample(hosts, 2)

@@ -17,14 +17,14 @@ link-visit counts per scale) for the CI artifact.
 """
 
 import json
-import random
-import time
 from pathlib import Path
 
 from conftest import BENCH_SEED, attach_report
 
+from repro.experiments.wallclock import Stopwatch
 from repro.net import FlowNetwork, RoutingTable, three_tier
 from repro.sim import EventLoop
+from repro.sim.randomness import seeded_rng
 
 MB = 8e6
 
@@ -47,7 +47,7 @@ def _churn_at_scale(pods, racks_per_pod, seed):
         by_rack.setdefault(host.rack, []).append(host.host_id)
     loop = EventLoop()
     net = FlowNetwork(loop, topo)
-    rng = random.Random(seed)
+    rng = seeded_rng(seed)
 
     t = 0.0
     for i in range(CHURN_FLOWS):
@@ -64,9 +64,9 @@ def _churn_at_scale(pods, racks_per_pod, seed):
             t, lambda fid=f"f{i}", p=path, s=size: net.start_flow(fid, p, s)
         )
 
-    start = time.perf_counter()
+    watch = Stopwatch()
     loop.run()
-    elapsed = time.perf_counter() - start
+    elapsed = watch.elapsed()
 
     stats = net.rate_engine.stats
     assert net.rate_engine.flow_count() == 0  # every transfer drained

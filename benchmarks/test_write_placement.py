@@ -9,8 +9,6 @@ either statically (the §6.1 policy) or by
 completion times are compared.
 """
 
-import random
-
 from conftest import attach_report
 
 from repro.core import Flowserver, FlowserverWritePlacement

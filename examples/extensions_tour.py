@@ -11,7 +11,6 @@
 Run:  python examples/extensions_tour.py
 """
 
-import random
 import shutil
 import tempfile
 from pathlib import Path
@@ -22,6 +21,7 @@ from repro.core import Flowserver, FlowserverWritePlacement
 from repro.net import FlowNetwork, RoutingTable, three_tier
 from repro.sdn import Controller
 from repro.sim import EventLoop
+from repro.sim.randomness import seeded_rng
 
 GB = 8e9
 MB = 1024 * 1024
@@ -34,7 +34,7 @@ def demo_write_placement():
     controller = Controller(FlowNetwork(loop, topo))
     flowserver = Flowserver(controller, RoutingTable(topo))
     placement = FlowserverWritePlacement(
-        topo, RoutingTable(topo), flowserver, random.Random(1),
+        topo, RoutingTable(topo), flowserver, seeded_rng(1),
         candidates_per_tier=64,
     )
     writer = "pod0-rack0-h0"

@@ -9,12 +9,11 @@ bandwidths and the number of candidate paths each decision evaluated.
 Run:  python examples/flowserver_tracing.py
 """
 
-import random
-
 from repro.core import Flowserver, FlowserverConfig
 from repro.net import FlowNetwork, RoutingTable, three_tier
 from repro.sdn import Controller
 from repro.sim import EventLoop
+from repro.sim.randomness import seeded_rng
 
 MB = 8e6
 
@@ -29,7 +28,7 @@ def main():
         RoutingTable(topo),
         FlowserverConfig(decision_log_size=50),
     )
-    rng = random.Random(4)
+    rng = seeded_rng(4)
     hosts = sorted(topo.hosts)
 
     # A burst of reads: some local, some same-pod, some cross-pod (which

@@ -1,8 +1,8 @@
-"""Static and runtime determinism analysis (simlint + SimSanitizer).
+"""Static and runtime determinism/protocol analysis.
 
-The reproduction's headline guarantee is bit-identical determinism: the
-fig4/fig8 fingerprints must survive every PR.  This package enforces that
-contract from two sides:
+The reproduction's headline guarantee is bit-identical determinism and
+a lease-fenced write protocol.  This package enforces both contracts
+from three sides:
 
 * :mod:`repro.analysis.simlint` — an AST-based linter (stdlib ``ast``
   only) with project-specific rules:
@@ -17,29 +17,79 @@ contract from two sides:
   - **RACE001** sim-process generators that cache shared mutable state
     before a ``yield`` and keep reading it after resuming.
 
+* :mod:`repro.analysis.protocheck` — a cross-module call/effect-graph
+  checker for the write-path fencing discipline (DESIGN.md §11):
+
+  - **FENCE001** unfenced mutation of epoch-fenced state reachable
+    from an RPC entry point;
+  - **FENCE002** an epoch captured before a ``yield`` and used after
+    (the stale-epoch-capture bug shape);
+  - **PROTO001** acknowledgement recorded before the ledger write it
+    acknowledges.
+
+  Escapes live in :mod:`repro.analysis.annotations`
+  (``@protocheck.fenced``/``entrypoint``/``exempt`` — runtime no-ops)
+  and inline ``# protocheck: ignore[RULE]`` comments.
+
+* :mod:`repro.analysis.explore` — a bounded systematic interleaving
+  explorer driving :meth:`repro.sim.engine.EventLoop.set_scheduler`,
+  with a 2-dataserver failover scenario, protocol invariants checked
+  per schedule, and replayable JSON counterexample traces.
+
 * :mod:`repro.analysis.simsan` — **SimSanitizer**, an opt-in runtime
   invariant checker (``REPRO_SIMSAN=1`` or ``pytest --simsan``) that
   asserts cross-layer invariants after every engine event.
 
-Run the linter with ``python -m repro.analysis src`` (exit code 1 on any
-finding); see DESIGN.md §"Determinism contract".
+Run the linters with ``python -m repro.analysis src`` and ``python -m
+repro.analysis protocheck src/repro`` (exit code 1 on any finding);
+run the explorer with ``python -m repro.analysis explore``.  See
+DESIGN.md §"Determinism contract" and §11.
 """
 
 from __future__ import annotations
 
+from repro.analysis import explore, protocheck
 from repro.analysis.config import SimlintConfig, load_config
+from repro.analysis.explore import (
+    ExplorationReport,
+    FailoverScenario,
+    RecordingScheduler,
+    ScheduleResult,
+    counterexample_trace,
+    replay_trace,
+    run_failover_exploration,
+)
+from repro.analysis.protocheck import (
+    ProtocolGraph,
+    analyze_paths,
+    analyze_sources,
+    build_graph,
+)
 from repro.analysis.simlint import Finding, lint_paths, lint_source
 from repro.analysis.simsan import SimSanError, SimSanitizer, arm, disarm, get_active
 
 __all__ = [
+    "ExplorationReport",
+    "FailoverScenario",
     "Finding",
-    "SimlintConfig",
+    "ProtocolGraph",
+    "RecordingScheduler",
+    "ScheduleResult",
     "SimSanError",
     "SimSanitizer",
+    "SimlintConfig",
+    "analyze_paths",
+    "analyze_sources",
     "arm",
+    "build_graph",
+    "counterexample_trace",
     "disarm",
+    "explore",
     "get_active",
     "lint_paths",
     "lint_source",
     "load_config",
+    "protocheck",
+    "replay_trace",
+    "run_failover_exploration",
 ]

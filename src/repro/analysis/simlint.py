@@ -103,7 +103,7 @@ class _ImportMap:
     """Names bound (anywhere in the file) to the modules/functions the
     clock and RNG rules care about.  Function-local imports count too."""
 
-    def __init__(self, tree: ast.AST):
+    def __init__(self, tree: ast.AST) -> None:
         self.time_modules: Set[str] = set()
         self.datetime_modules: Set[str] = set()
         self.datetime_classes: Set[str] = set()
@@ -268,7 +268,7 @@ _ORDER_SENSITIVE_CALLS = {"list", "tuple", "enumerate", "iter", "next", "zip"}
 class _SetOrderChecker(ast.NodeVisitor):
     """Track local names bound to set expressions; flag ordered consumption."""
 
-    def __init__(self, path: str):
+    def __init__(self, path: str) -> None:
         self.path = path
         self.findings: List[Finding] = []
         self._scopes: List[Set[str]] = [set()]
@@ -480,7 +480,7 @@ class _RaceScanner:
     scanned twice so second-iteration reads of a pre-loop cache are caught.
     """
 
-    def __init__(self, path: str, race_attrs: Iterable[str]):
+    def __init__(self, path: str, race_attrs: Iterable[str]) -> None:
         self.path = path
         self.race_attrs = set(race_attrs)
         self.findings: List[Finding] = []

@@ -12,10 +12,18 @@ more events on the same deterministic clock.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
 
 from repro.faults.plan import FaultEvent, FaultPlan
 from repro.sim import instrument
+
+if TYPE_CHECKING:
+    from repro.core.stats import FlowStatsCollector
+    from repro.fs.dataserver import Dataserver
+    from repro.fs.leases import LeaseManager
+    from repro.rpc.fabric import RpcFabric
+    from repro.sdn.controller import Controller
+    from repro.sim.engine import EventLoop
 
 
 @dataclass(frozen=True)
@@ -59,14 +67,14 @@ class FaultInjector:
 
     def __init__(
         self,
-        loop,
-        controller,
-        fabric,
-        collector=None,
+        loop: "EventLoop",
+        controller: "Controller",
+        fabric: "RpcFabric",
+        collector: Optional["FlowStatsCollector"] = None,
         nameserver_endpoints: Optional[List[str]] = None,
-        lease_manager=None,
-        dataservers=None,
-    ):
+        lease_manager: Optional["LeaseManager"] = None,
+        dataservers: Optional[Dict[str, "Dataserver"]] = None,
+    ) -> None:
         self._loop = loop
         self._controller = controller
         self._fabric = fabric
@@ -79,7 +87,7 @@ class FaultInjector:
         self.flows_aborted_by_faults = 0
 
     @classmethod
-    def for_cluster(cls, cluster) -> "FaultInjector":
+    def for_cluster(cls, cluster: Any) -> "FaultInjector":
         """Wire an injector to an assembled :class:`repro.cluster.Cluster`."""
         collector = (
             cluster.flowserver.collector if cluster.flowserver is not None else None

@@ -13,7 +13,10 @@ from __future__ import annotations
 
 from random import Random
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
+
+if TYPE_CHECKING:
+    from repro.net.topology import Topology
 
 #: Fault kinds and the recovery kind each one pairs with (``None`` for
 #: events that *are* recoveries, which need no counterpart).
@@ -147,7 +150,7 @@ class StormSpec:
 
 
 def build_storm(
-    topology,
+    topology: "Topology",
     rng: Random,
     spec: Optional[StormSpec] = None,
 ) -> FaultPlan:

@@ -14,7 +14,7 @@ from __future__ import annotations
 import itertools
 from random import Random
 from dataclasses import dataclass
-from typing import Dict, Generator, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Any, Dict, Generator, List, Optional, Sequence, Tuple
 
 from repro.fs.chunks import DEFAULT_CHUNK_BYTES, DEFAULT_REPLICATION, FileMetadata
 from repro.fs.consistency import ConsistencyMode, replica_candidates_for_range
@@ -23,6 +23,9 @@ from repro.fs.retry import RetryPolicy
 from repro.sim import instrument
 from repro.sim.engine import EventLoop
 from repro.sim.process import Delay, Process
+
+if TYPE_CHECKING:
+    from repro.rpc.fabric import RpcFabric
 
 
 @dataclass(frozen=True)
@@ -119,7 +122,7 @@ class MayflowerClient:
         self,
         host_id: str,
         loop: EventLoop,
-        fabric,
+        fabric: "RpcFabric",
         nameserver_endpoint: str,
         planner: ReadPlanner,
         consistency: ConsistencyMode = ConsistencyMode.SEQUENTIAL,
@@ -129,7 +132,7 @@ class MayflowerClient:
         retry_rng: Optional[Random] = None,
         write_pipeline: bool = False,
         fanout_planner: Optional[WriteFanoutPlanner] = None,
-    ):
+    ) -> None:
         self.host_id = host_id
         self._loop = loop
         self._fabric = fabric
@@ -582,7 +585,7 @@ class MayflowerClient:
     # Internals
     # ------------------------------------------------------------------
 
-    def _invoke_nameserver(self, method: str, *args) -> Generator:
+    def _invoke_nameserver(self, method: str, *args: Any) -> Generator:
         """Call the nameserver, failing over across replica endpoints.
 
         Whole-host failures (HostDown), crashed nameserver processes
@@ -688,8 +691,8 @@ class MayflowerClient:
     def _remember(self, name: str, metadata: FileMetadata) -> None:
         self._cache[name] = _CacheEntry(metadata=metadata, cached_at=self._loop.now)
 
-    def _spawn_invoke(self, endpoint: str, service: str, method: str, *args) -> Process:
-        def body():
+    def _spawn_invoke(self, endpoint: str, service: str, method: str, *args: Any) -> Process:
+        def body() -> Generator:
             return (
                 yield from self._fabric.invoke(
                     self.host_id, endpoint, service, method, *args
@@ -708,7 +711,13 @@ class MayflowerClient:
         reply_sizes: List[int],
         job_id: Optional[str],
     ) -> Process:
-        def attempt(replica, flow_id, path, abs_offset, nbytes):
+        def attempt(
+            replica: str,
+            flow_id: str,
+            path: Sequence[str],
+            abs_offset: int,
+            nbytes: int,
+        ) -> Generator:
             reply = yield from self._fabric.invoke(
                 self.host_id,
                 replica,
@@ -724,7 +733,7 @@ class MayflowerClient:
             )
             return reply
 
-        def body():
+        def body() -> Generator:
             from repro.fs.errors import OperationTimeoutError, ReplicaUnavailableError
             from repro.net.simulator import FlowAborted
             from repro.rpc.errors import (

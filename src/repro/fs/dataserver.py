@@ -21,8 +21,9 @@ simulator; the cluster layer provides the concrete implementation).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Generator, List, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Dict, Generator, List, Optional, Sequence, Tuple
 
+import repro.analysis.annotations as protocheck
 from repro.fs.chunks import FileMetadata
 from repro.fs.errors import (
     FileNotFoundFsError,
@@ -36,6 +37,11 @@ from repro.net.simulator import FlowAborted
 from repro.sim import instrument
 from repro.sim.engine import EventLoop
 from repro.sim.process import Signal
+
+if TYPE_CHECKING:
+    from repro.core.fanout import RelayNode
+    from repro.rpc.fabric import RpcFabric
+    from repro.sim.process import Process
 
 
 class DataPlane:
@@ -53,7 +59,7 @@ class DataPlane:
         dst: str,
         size_bytes: int,
         flow_id: Optional[str] = None,
-        path=None,
+        path: Optional[Sequence[str]] = None,
         job_id: Optional[str] = None,
     ) -> Generator:
         raise NotImplementedError
@@ -121,12 +127,12 @@ class Dataserver:
         self,
         host_id: str,
         loop: EventLoop,
-        fabric,
+        fabric: "RpcFabric",
         dataplane: DataPlane,
         store_payload: bool = False,
         nameserver_endpoint: Optional[str] = None,
         lease_endpoint: Optional[str] = None,
-    ):
+    ) -> None:
         self.host_id = host_id
         self._loop = loop
         self._fabric = fabric
@@ -289,6 +295,11 @@ class Dataserver:
         finally:
             self._release_append_lock(stored)
 
+    @protocheck.fenced(
+        reason="legacy (non-pipelined) relay: the metadata primary is "
+        "trusted as ordering authority; epoch fencing for relays lives "
+        "on the pipelined relay_append path"
+    )
     def replica_append(
         self,
         file_id: str,
@@ -351,7 +362,7 @@ class Dataserver:
         size_bytes: int,
         from_host: str,
         data: Optional[bytes] = None,
-        path=None,
+        path: Optional[Sequence[str]] = None,
         job_id: Optional[str] = None,
     ) -> Generator:
         """Phase one: stage the writer's bytes under ``append_id``.
@@ -382,7 +393,7 @@ class Dataserver:
         file_id: str,
         append_id: str,
         from_host: str,
-        children=(),
+        children: Sequence["RelayNode"] = (),
         job_id: Optional[str] = None,
     ) -> Generator:
         """Phase two: order, stamp, relay, record, acknowledge.
@@ -480,8 +491,8 @@ class Dataserver:
         data: Optional[bytes],
         expected_offset: int,
         epoch: int,
-        path=None,
-        children=(),
+        path: Optional[Sequence[str]] = None,
+        children: Sequence["RelayNode"] = (),
         job_id: Optional[str] = None,
     ) -> Generator:
         """Secondary-side pipelined commit: fence, repair, apply, forward.
@@ -591,7 +602,12 @@ class Dataserver:
         """This replica's ordered append ledger (verification RPC)."""
         return list(self._stored(file_id).ledger)
 
-    def update_replica_set(self, file_id: str, replicas) -> bool:
+    @protocheck.fenced(
+        reason="replica-set install is driven by the nameserver-side "
+        "replica manager, the membership authority; there is no lease "
+        "to check because membership changes are what move leases"
+    )
+    def update_replica_set(self, file_id: str, replicas: Sequence[str]) -> bool:
         """Refresh local metadata after the replica manager rewrote it.
 
         Keeps the dataserver's notion of the replica set (and thus its
@@ -770,7 +786,7 @@ class Dataserver:
         stored: StoredFile,
         entry: LedgerEntry,
         data: Optional[bytes],
-        children,
+        children: Sequence["RelayNode"],
         job_id: Optional[str],
     ) -> Generator:
         """Fan one commit out to the planned relay children, in parallel."""
@@ -783,10 +799,17 @@ class Dataserver:
         for proc in procs:
             yield proc
 
-    def _spawn_pipeline_relay(self, stored, entry, data, child, job_id):
+    def _spawn_pipeline_relay(
+        self,
+        stored: StoredFile,
+        entry: LedgerEntry,
+        data: Optional[bytes],
+        child: "RelayNode",
+        job_id: Optional[str],
+    ) -> "Process":
         from repro.sim.process import Process
 
-        def relay():
+        def relay() -> Generator:
             result = yield from self._fabric.invoke(
                 self.host_id,
                 child.host,
@@ -822,7 +845,7 @@ class Dataserver:
         length: int,
         to_host: str,
         flow_id: Optional[str] = None,
-        path=None,
+        path: Optional[Sequence[str]] = None,
         job_id: Optional[str] = None,
     ) -> Generator:
         """Send ``length`` bytes starting at ``offset`` to ``to_host``.
@@ -893,6 +916,12 @@ class Dataserver:
         )
         return result
 
+    @protocheck.fenced(
+        reason="replica installation is initiated by push_replica after "
+        "a membership decision; the adopted ledger carries the source's "
+        "epoch, and a stale source is caught by the epoch-preferring "
+        "nameserver rebuild, not by a lease check here"
+    )
     def install_replica(
         self,
         metadata_dict: dict,
@@ -924,6 +953,10 @@ class Dataserver:
         stored.epoch = max(stored.epoch, epoch)
         return file_id
 
+    @protocheck.exempt(
+        reason="bootstrap fixture hook: materializes a corpus that "
+        "predates the measurement window, outside the append protocol"
+    )
     def load_preexisting(self, file_id: str, size_bytes: int) -> None:
         """Materialize pre-existing data without network transfers.
 
@@ -1005,10 +1038,10 @@ class Dataserver:
         data: Optional[bytes],
         job_id: Optional[str],
         append_id: Optional[str] = None,
-    ):
+    ) -> "Process":
         from repro.sim.process import Process
 
-        def relay():
+        def relay() -> Generator:
             result = yield from self._fabric.invoke(
                 self.host_id,
                 replica,

@@ -87,7 +87,9 @@ class LeaseManager:
     timelines are deterministic per seed.
     """
 
-    def __init__(self, loop: EventLoop, duration: float = DEFAULT_LEASE_DURATION):
+    def __init__(
+        self, loop: EventLoop, duration: float = DEFAULT_LEASE_DURATION
+    ) -> None:
         if duration <= 0:
             raise ValueError(f"lease duration must be positive, got {duration}")
         self._loop = loop
@@ -283,7 +285,7 @@ class HeldLeaseTable:
     or fences it out.
     """
 
-    def __init__(self, loop: EventLoop):
+    def __init__(self, loop: EventLoop) -> None:
         self._loop = loop
         self._held: Dict[str, LeaseGrant] = {}
 

@@ -20,13 +20,17 @@ substrate:
 from __future__ import annotations
 
 from random import Random
-from typing import Dict, Generator, List, Optional, Sequence, Set
+from typing import TYPE_CHECKING, Dict, Generator, List, Optional, Sequence, Set
 
 from repro.fs.chunks import FileMetadata
 from repro.fs.nameserver import Nameserver
 from repro.net.topology import Topology
 from repro.sim.engine import EventLoop, PeriodicTimer
 from repro.sim.process import Process
+
+if TYPE_CHECKING:
+    from repro.fs.leases import LeaseManager
+    from repro.rpc.fabric import RpcFabric
 
 MEMBERSHIP_SERVICE = "membership"
 
@@ -44,8 +48,8 @@ class MembershipTracker:
         self,
         loop: EventLoop,
         expected_hosts: Sequence[str],
-        lease_manager=None,
-    ):
+        lease_manager: Optional["LeaseManager"] = None,
+    ) -> None:
         self._loop = loop
         self._last_seen: Dict[str, float] = {
             host: loop.now for host in expected_hosts
@@ -88,11 +92,11 @@ class HeartbeatSender:
     def __init__(
         self,
         loop: EventLoop,
-        fabric,
+        fabric: "RpcFabric",
         host_id: str,
         membership_endpoint: str,
         interval: float = 5.0,
-    ):
+    ) -> None:
         if interval <= 0:
             raise ValueError(f"interval must be positive, got {interval}")
         self._loop = loop
@@ -103,7 +107,7 @@ class HeartbeatSender:
         self._timer = PeriodicTimer(loop, interval, self._beat, first_delay=0.0)
 
     def _beat(self) -> None:
-        def body():
+        def body() -> Generator:
             from repro.rpc.errors import RpcError
 
             try:
@@ -136,7 +140,7 @@ class ReplicaManager:
     def __init__(
         self,
         loop: EventLoop,
-        fabric,
+        fabric: "RpcFabric",
         nameserver: Nameserver,
         nameserver_endpoint: str,
         membership: MembershipTracker,
@@ -144,8 +148,8 @@ class ReplicaManager:
         rng: Random,
         check_interval: float = 10.0,
         heartbeat_timeout: float = 15.0,
-        lease_manager=None,
-    ):
+        lease_manager: Optional["LeaseManager"] = None,
+    ) -> None:
         self._loop = loop
         self._fabric = fabric
         self._nameserver = nameserver
@@ -180,7 +184,7 @@ class ReplicaManager:
             return
         self._repair_in_flight = True
 
-        def done(_payload):
+        def done(_payload: object) -> None:
             self._repair_in_flight = False
 
         proc = Process(self._loop, self.repair_all(dead), name="replica-repair")

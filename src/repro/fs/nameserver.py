@@ -17,7 +17,10 @@ from __future__ import annotations
 import json
 from pathlib import Path
 from random import Random
-from typing import Generator, List, Optional
+from typing import TYPE_CHECKING, Generator, List, Optional, Sequence
+
+if TYPE_CHECKING:
+    from repro.rpc.fabric import RpcFabric
 
 from repro.fs.chunks import (
     DEFAULT_CHUNK_BYTES,
@@ -55,7 +58,7 @@ class Nameserver:
         db_directory: Path,
         placement: PlacementPolicy,
         rng: Optional[Random] = None,
-    ):
+    ) -> None:
         # The paper runs LevelDB with fsync off to speed up creates/deletes.
         self._db = KVStore(Path(db_directory), KVStoreConfig(sync_wal=False))
         self._placement = placement
@@ -240,7 +243,12 @@ class Nameserver:
     # Recovery
     # ------------------------------------------------------------------
 
-    def rebuild_from_dataservers(self, fabric, self_endpoint: str, dataserver_hosts) -> Generator:
+    def rebuild_from_dataservers(
+        self,
+        fabric: "RpcFabric",
+        self_endpoint: str,
+        dataserver_hosts: Sequence[str],
+    ) -> Generator:
         """Unexpected-restart path: rebuild mappings by scanning dataservers.
 
         Clears the (possibly stale) database and repopulates it from the

@@ -50,7 +50,7 @@ class PaperEvalPlacement(PlacementPolicy):
     other randomly selected racks").
     """
 
-    def __init__(self, topology: Topology, rng: Random):
+    def __init__(self, topology: Topology, rng: Random) -> None:
         self._topo = topology
         self._rng = rng
         self._hosts = sorted(topology.hosts)
@@ -102,7 +102,7 @@ class PaperEvalPlacement(PlacementPolicy):
 class HdfsRackAwarePlacement(PlacementPolicy):
     """§5 placement: two replicas share the primary's rack, the rest spread."""
 
-    def __init__(self, topology: Topology, rng: Random):
+    def __init__(self, topology: Topology, rng: Random) -> None:
         self._topo = topology
         self._rng = rng
         self._hosts = sorted(topology.hosts)

@@ -72,6 +72,9 @@ class EventLoop:
         self._running = False
         self._events_processed = 0
         self._runs_traced = 0
+        self._scheduler: Optional[
+            Callable[[float, "list[EventHandle]"], int]
+        ] = None
 
     @property
     def now(self) -> float:
@@ -118,8 +121,29 @@ class EventLoop:
             heapq.heappop(self._heap)
         return self._heap[0].time if self._heap else None
 
+    def set_scheduler(
+        self, scheduler: Optional[Callable[[float, "list[EventHandle]"], int]]
+    ) -> None:
+        """Install (or clear) an interleaving scheduler.
+
+        When set, every :meth:`step` collects the full set of pending
+        events that share the earliest timestamp and asks
+        ``scheduler(time, events)`` which one fires next (an index into
+        ``events``); the rest are re-queued with their original
+        scheduling sequence, so unchosen events keep their deterministic
+        tie-break order.  The scheduler is only consulted when two or
+        more events are simultaneously ready — with none installed (the
+        default) the loop's behavior is byte-identical to the legacy
+        FIFO-tie-break path.  This is the seam the interleaving explorer
+        (:mod:`repro.analysis.explore`) drives; production runs never
+        install one.
+        """
+        self._scheduler = scheduler
+
     def step(self) -> bool:
         """Fire the single next event.  Returns ``False`` when idle."""
+        if self._scheduler is not None:
+            return self._step_scheduled()
         while self._heap:
             handle = heapq.heappop(self._heap)
             if handle.cancelled:
@@ -137,6 +161,42 @@ class EventLoop:
             instrument.post_event(self)
             return True
         return False
+
+    def _step_scheduled(self) -> bool:
+        """Fire one event of the earliest-timestamp ready set, letting
+        the installed scheduler pick which."""
+        ready: list[EventHandle] = []
+        while self._heap:
+            handle = heapq.heappop(self._heap)
+            if handle.cancelled:
+                continue
+            if ready and handle.time > ready[0].time:
+                heapq.heappush(self._heap, handle)
+                break
+            ready.append(handle)
+        if not ready:
+            return False
+        index = 0
+        if len(ready) > 1:
+            assert self._scheduler is not None
+            index = self._scheduler(ready[0].time, ready)
+            if not 0 <= index < len(ready):
+                raise SimulationError(
+                    f"scheduler chose {index} of {len(ready)} ready events"
+                )
+        chosen = ready.pop(index)
+        for other in ready:
+            heapq.heappush(self._heap, other)
+        if chosen.time < self._now:  # pragma: no cover - defensive
+            raise SimulationError("event heap corrupted: time went backwards")
+        self._now = chosen.time
+        callback, args = chosen.callback, chosen.args
+        chosen.callback, chosen.args = None, ()
+        self._events_processed += 1
+        assert callback is not None
+        callback(*args)
+        instrument.post_event(self)
+        return True
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
         """Run the loop until idle, a time horizon, or an event budget.

@@ -1,0 +1,7 @@
+"""Float equality on names outside the rate/cost vocabulary: no DET004."""
+
+
+def check(offset, expected_offset, count):
+    if offset == expected_offset:
+        return True
+    return count == 0

@@ -1,0 +1,7 @@
+"""A local computed *from* plain args is not shared state: no RACE001."""
+
+
+def send(size_bits, rate):
+    duration = size_bits / rate
+    yield duration
+    return duration

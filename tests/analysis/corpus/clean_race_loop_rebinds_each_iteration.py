@@ -1,0 +1,12 @@
+"""Loop that re-reads the shared attr every iteration: no RACE001.
+
+The loop-replay heuristic scans bodies twice; a binding at the *top* of
+the body covers reads later in the same body on the second pass too.
+"""
+
+
+def pump(link):
+    while True:
+        rate = link.rate_bps
+        yield "tick"
+        del rate

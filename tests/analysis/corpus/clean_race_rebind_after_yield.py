@@ -1,0 +1,9 @@
+"""Re-reading shared state after the yield: the RACE001-clean idiom."""
+
+
+def drain(link):
+    while True:
+        yield "tick"
+        rate = link.rate_bps
+        if rate <= 0:
+            return rate

@@ -1,0 +1,8 @@
+"""Sanctioned RNG construction: must not trip DET002."""
+
+from repro.sim.randomness import RandomStreams, seeded_rng
+
+rng = seeded_rng(7)
+streams = RandomStreams(7)
+faults_rng = streams.stream("faults")
+draw = rng.random()

@@ -1,0 +1,8 @@
+"""Ordered consumption of sets via sorted(): must not trip DET003."""
+
+
+def fan_in(flows):
+    members = {f.src for f in flows}
+    for host in sorted(members):
+        yield host
+    return sorted({f.dst for f in flows})

@@ -1,0 +1,5 @@
+"""Float equality on a rate."""
+
+
+def saturated(rate_bps, capacity_bps):
+    return rate_bps == capacity_bps  # expect: DET004

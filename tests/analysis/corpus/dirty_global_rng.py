@@ -1,0 +1,13 @@
+"""Shared-module and raw-constructed RNGs.
+
+The `import random` finding covers every later use of the module, so
+the call on the return line is not double-reported.
+"""
+
+import random  # expect: DET002
+from random import Random
+
+
+def draw():
+    rng = Random(1)  # expect: DET002
+    return rng.random() + random.random()

@@ -1,0 +1,7 @@
+"""Shared attr cached before a yield and read after it."""
+
+
+def drain(link):
+    rate = link.rate_bps
+    yield "tick"
+    return rate  # expect: RACE001

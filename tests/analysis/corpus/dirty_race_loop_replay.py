@@ -1,0 +1,16 @@
+"""Pre-loop cache read inside a yielding loop: stale from iteration 2.
+
+Only the loop-replay second pass catches this — the first linear pass
+sees the read at the same epoch as the binding.
+"""
+
+
+def pump(link):
+    rate = link.rate_bps
+    while True:
+        yield "tick"
+        consume(rate)  # expect: RACE001
+
+
+def consume(rate):
+    return rate

@@ -1,0 +1,6 @@
+"""Iteration order of a raw set leaking into results."""
+
+
+def order(flows):
+    members = {f.src for f in flows}
+    return list(members)  # expect: DET003

@@ -1,0 +1,10 @@
+"""Unsanctioned wall-clock reads."""
+
+import time
+from datetime import datetime
+
+
+def stamp():
+    started = time.time()  # expect: DET001
+    now = datetime.now()  # expect: DET001
+    return started, now
