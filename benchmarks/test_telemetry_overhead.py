@@ -61,6 +61,71 @@ def test_enabled_telemetry_overhead(benchmark, fig4_style_workload):
     assert tel.metrics.value("flowserver_requests_total") > 0
 
 
+def _pipelined_append_run(seed, with_flight=False):
+    """A propagation-heavy workload: traced two-phase replicated appends."""
+    from repro.cluster.cluster import Cluster, ClusterConfig
+
+    cluster = Cluster(
+        ClusterConfig(
+            pods=2, racks_per_pod=2, hosts_per_rack=2, seed=seed,
+            write_pipeline=True,
+        )
+    )
+    tel = instrument.TELEMETRY
+    if with_flight and tel is not None:
+        tel.attach_flight()
+    client = cluster.client(sorted(cluster.topology.hosts)[-1])
+
+    def body():
+        yield from client.create("/bench/f", replication=3)
+        for _ in range(8):
+            yield from client.append("/bench/f", 2 * 1024 * 1024)
+
+    cluster.run(body())
+    end = cluster.loop.now
+    cluster.shutdown()
+    return end
+
+
+def test_disabled_propagation_overhead(benchmark):
+    """Pipelined appends with no session: context plumbing must be free."""
+    assert instrument.TELEMETRY is None
+    completion = benchmark(lambda: _pipelined_append_run(BENCH_SEED))
+    assert completion > 0
+    assert instrument.TELEMETRY is None
+
+
+def test_enabled_propagation_overhead(benchmark):
+    """Same appends traced with the flight recorder attached.
+
+    Covers the full propagation path: span derivation per rpc, ambient
+    context save/restore per process resume, and the per-event ring
+    append of the flight observer.
+    """
+
+    def run():
+        with telemetry.session() as tel:
+            completion = _pipelined_append_run(BENCH_SEED, with_flight=True)
+        return tel, completion
+
+    tel, _ = benchmark(run)
+    assert any(
+        e.ph == "b" and e.args and e.args.get("trace")
+        for e in tel.tracer.events
+    )
+    assert tel.flight is not None
+
+
+def test_propagation_does_not_change_the_timeline():
+    """Append completion times agree with tracing off, on, and re-off."""
+    baseline = _pipelined_append_run(BENCH_SEED)
+    with telemetry.session():
+        traced = _pipelined_append_run(BENCH_SEED, with_flight=True)
+    again = _pipelined_append_run(BENCH_SEED)
+    assert traced == baseline
+    assert again == baseline
+
+
 def test_disabled_run_results_match_traced_run(fig4_style_workload):
     """The fingerprint is identical with telemetry on, off, and re-off."""
     baseline = run_scheme_on_workload(

@@ -186,6 +186,7 @@ class Cluster:
             self.nameserver = Nameserver(
                 db_dir, placement, rng=streams.stream("file-ids")
             )
+            self.nameserver.clock = self.loop
             self.fabric.register(self.nameserver_host, "nameserver", self.nameserver)
         else:
             raise ValueError(

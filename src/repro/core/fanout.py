@@ -93,6 +93,24 @@ class FanoutPlan:
             hosts.extend(child.subtree_hosts())
         return tuple(hosts)
 
+    def edges(self) -> Tuple[Tuple[str, str], ...]:
+        """Every ``(parent_host, child_host)`` relay hop, preorder.
+
+        The push hop (writer → primary) is excluded — these are the
+        relay edges a committed append travels, the ground truth trace
+        topology assertions compare span parentage against.
+        """
+        collected: List[Tuple[str, str]] = []
+
+        def visit(parent: str, node: RelayNode) -> None:
+            collected.append((parent, node.host))
+            for child in node.children:
+                visit(node.host, child)
+
+        for child in self.children:
+            visit(self.primary, child)
+        return tuple(collected)
+
 
 def static_chain_plan(
     writer: str, primary: str, secondaries: Sequence[str]

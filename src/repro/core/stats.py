@@ -31,6 +31,16 @@ class PollRecord:
     timestamp: float
 
 
+#: Estimated OpenFlow message sizes (bytes) for poll-volume accounting:
+#: an OFPMP_FLOW stats request, the reply's multipart header, and each
+#: flow entry in the reply body.  The absolute numbers only matter
+#: relatively — they size the monitoring-channel overhead the paper
+#: trades against measurement freshness.
+POLL_REQUEST_BYTES = 72
+POLL_REPLY_BASE_BYTES = 12
+POLL_REPLY_PER_FLOW_BYTES = 88
+
+
 class FlowStatsCollector:
     """Polls edge switches and refreshes the Flowserver's flow state.
 
@@ -77,6 +87,12 @@ class FlowStatsCollector:
         #: collector legitimately idles between bursts, which must not
         #: look like staleness.
         self.switch_missed_polls: Dict[str, int] = {}
+        #: Cumulative monitoring-channel volume per switch: OpenFlow
+        #: messages exchanged and their estimated bytes.  Requests to
+        #: unreachable switches still count (the message left the
+        #: controller); suppressed cycles send nothing.
+        self.poll_messages: Dict[str, int] = {}
+        self.poll_bytes: Dict[str, int] = {}
         self.polls_lost = 0
         self.poll_errors = 0
         self._timer: Optional[PeriodicTimer] = None
@@ -107,6 +123,8 @@ class FlowStatsCollector:
         polled_ok: Set[str] = set()
         applied_before = self.measurements_applied
         suppressed_before = self.measurements_suppressed
+        cycle_messages = 0
+        cycle_bytes = 0
         if self.suppress_polls:
             self.polls_lost += 1
         for switch_id in self._controller.edge_switch_ids():
@@ -122,9 +140,20 @@ class FlowStatsCollector:
                 self.switch_missed_polls[switch_id] = (
                     self.switch_missed_polls.get(switch_id, 0) + 1
                 )
+                # The request left the controller even though no reply came.
+                self._account_poll(switch_id, 1, POLL_REQUEST_BYTES)
+                cycle_messages += 1
+                cycle_bytes += POLL_REQUEST_BYTES
                 continue
             self.switch_missed_polls[switch_id] = 0
             polled_ok.add(switch_id)
+            exchanged = (
+                POLL_REQUEST_BYTES + POLL_REPLY_BASE_BYTES
+                + POLL_REPLY_PER_FLOW_BYTES * len(reply.flows)
+            )
+            self._account_poll(switch_id, 2, exchanged)
+            cycle_messages += 2
+            cycle_bytes += exchanged
             for stat in reply.flows:
                 if stat.flow_id not in self._state:
                     # Not a tracked (Mayflower-scheduled) flow; ignore,
@@ -193,11 +222,32 @@ class FlowStatsCollector:
             tel.metrics.counter("collector_measurements_suppressed_total").inc(
                 float(self.measurements_suppressed - suppressed_before)
             )
+            if cycle_messages:
+                tel.tracer.counter(
+                    now, "flowserver.poll.messages",
+                    {"messages": float(cycle_messages),
+                     "bytes": float(cycle_bytes)},
+                    track="poll",
+                )
         # Go idle once nothing is tracked so a simulation with no pending
         # work can drain its event queue; the Flowserver restarts polling
         # when it registers the next flow.
         if not self._state.flows:
             self.stop()
+
+    def _account_poll(self, switch_id: str, messages: int, nbytes: int) -> None:
+        """Attribute one poll exchange's message volume to a switch."""
+        self.poll_messages[switch_id] = (
+            self.poll_messages.get(switch_id, 0) + messages
+        )
+        self.poll_bytes[switch_id] = self.poll_bytes.get(switch_id, 0) + nbytes
+        tel = instrument.TELEMETRY
+        if tel is not None:
+            labels = {"switch": switch_id}
+            tel.count("flowserver_poll_messages_total", float(messages),
+                      labels=labels)
+            tel.count("flowserver_poll_bytes_total", float(nbytes),
+                      labels=labels)
 
     def forget(self, flow_id: str) -> None:
         """Drop poll history for a removed flow (called on FlowRemoved)."""

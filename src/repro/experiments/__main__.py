@@ -8,7 +8,7 @@ Usage::
     python -m repro.experiments --out results.txt
 
 Available targets: fig2 (worked example), fig4, fig5, fig6, fig7, fig8,
-multireplica, claims.
+multireplica, writes (traced pipelined-append workload), claims.
 """
 
 from __future__ import annotations
@@ -20,7 +20,8 @@ from repro.experiments import figures, report
 from repro.experiments.claims import check_headline_claims, render_claims
 from repro.experiments.wallclock import Stopwatch
 
-TARGETS = ("fig2", "fig4", "fig5", "fig6", "fig7", "fig8", "multireplica", "claims")
+TARGETS = ("fig2", "fig4", "fig5", "fig6", "fig7", "fig8", "multireplica",
+           "writes", "claims")
 
 
 def _fig2_report() -> str:
@@ -130,6 +131,10 @@ def main(argv=None) -> int:
             sections.append(
                 report.render_multireplica(figures.multireplica_ablation(**kwargs))
             )
+        elif target == "writes":
+            from repro.experiments.writes import render_writes, run_writes
+
+            sections.append(render_writes(run_writes(seed=args.seed)))
         elif target == "claims":
             sections.append(
                 render_claims(check_headline_claims(figures.figure4(**kwargs)))
@@ -153,8 +158,12 @@ def main(argv=None) -> int:
             tel.tracer, trace_dir / "trace.json", registry=tel.metrics
         )
         telemetry.write_prometheus(tel.metrics, trace_dir / "metrics.prom")
+        dumps = tel.flight.dumps if tel.flight is not None else []
+        for i, dump in enumerate(dumps):
+            telemetry.write_flight_dump(dump, trace_dir / f"flight-{i:04d}.json")
+        extra = f", {len(dumps)} flight dump(s)" if dumps else ""
         print(f"trace written to {trace_dir}/ "
-              f"({len(tel.tracer)} events; open trace.json in "
+              f"({len(tel.tracer)} events{extra}; open trace.json in "
               "https://ui.perfetto.dev)")
     return 0
 

@@ -138,6 +138,13 @@ class FaultInjector:
             tel.instant(self._loop.now, f"fault.{event.kind}", "fault",
                         target=event.target, detail=detail)
             tel.count("faults_applied_total")
+        # Freeze a flight-recorder snapshot (when one is armed) so the
+        # fault ships with the causally-linked spans of every operation
+        # it caught in flight.
+        instrument.flight_trigger(
+            self._loop.now, f"fault.{event.kind}",
+            target=event.target, detail=detail,
+        )
 
     def _do_link_down(self, event: FaultEvent) -> str:
         victims = self._controller.fail_link(event.target)

@@ -269,14 +269,43 @@ class MayflowerClient:
         if size_bytes <= 0:
             raise InvalidRequestError(f"append size must be positive: {size_bytes}")
         append_id = f"ap:{self.host_id}:{next(self._append_seq)}"
-        if self.write_pipeline:
-            new_size = yield from self._append_pipelined(
-                name, size_bytes, data, append_id, job_id
+        tel = instrument.TELEMETRY
+        append_ctx: Optional[instrument.TraceContext] = None
+        previous_ctx: Optional[instrument.TraceContext] = None
+        if tel is not None:
+            # Root span of the operation tree: every rpc the append makes
+            # (plan, push, commit, and the relays those spawn) hangs off
+            # the context installed here for the append's dynamic extent.
+            append_ctx = tel.start_span(
+                self._loop.now, "client.append", "append", track="appends",
+                span_id=tel.next_id("append"), host=self.host_id, file=name,
+                append=append_id, bytes=size_bytes,
             )
-        else:
-            new_size = yield from self._append_legacy(
-                name, size_bytes, data, append_id, job_id
-            )
+            previous_ctx = instrument.set_context(append_ctx)
+        try:
+            if self.write_pipeline:
+                new_size = yield from self._append_pipelined(
+                    name, size_bytes, data, append_id, job_id
+                )
+            else:
+                new_size = yield from self._append_legacy(
+                    name, size_bytes, data, append_id, job_id
+                )
+        except BaseException as err:
+            tel = instrument.TELEMETRY
+            if tel is not None and append_ctx is not None:
+                tel.finish_span(self._loop.now, append_ctx, "client.append",
+                                "append", track="appends", outcome="error",
+                                error=type(err).__name__)
+            raise
+        finally:
+            if append_ctx is not None:
+                instrument.set_context(previous_ctx)
+        tel = instrument.TELEMETRY
+        if tel is not None and append_ctx is not None:
+            tel.finish_span(self._loop.now, append_ctx, "client.append",
+                            "append", track="appends", outcome="committed",
+                            new_size=new_size)
         return new_size
 
     def _append_legacy(
@@ -506,10 +535,17 @@ class MayflowerClient:
         started = self._loop.now
         tel = instrument.TELEMETRY
         read_id: Optional[str] = None
+        read_ctx: Optional[instrument.TraceContext] = None
+        previous_ctx: Optional[instrument.TraceContext] = None
         if tel is not None:
             read_id = tel.next_id("read")
-            tel.begin(started, "client.read", "read", read_id,
-                      track="reads", host=self.host_id, file=name)
+            # Root span of the read's operation tree; the context installed
+            # here parents the planner and serve_read rpcs (and, through
+            # them, everything the dataservers do for this read).
+            read_ctx = tel.start_span(started, "client.read", "read",
+                                      track="reads", span_id=read_id,
+                                      host=self.host_id, file=name)
+            previous_ctx = instrument.set_context(read_ctx)
         try:
             metadata = yield from self._metadata(name)
             if length is None:
@@ -558,6 +594,9 @@ class MayflowerClient:
                         track="reads", outcome="error",
                         error=type(err).__name__)
             raise
+        finally:
+            if read_ctx is not None:
+                instrument.set_context(previous_ctx)
 
         data = None
         if chunks and all(v is not None for v in chunks.values()):

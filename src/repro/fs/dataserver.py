@@ -20,8 +20,19 @@ simulator; the cluster layer provides the concrete implementation).
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any, Dict, Generator, List, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Dict,
+    Generator,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 import repro.analysis.annotations as protocheck
 from repro.fs.chunks import FileMetadata
@@ -333,6 +344,40 @@ class Dataserver:
         finally:
             self._release_append_lock(stored)
 
+    @contextmanager
+    def _stage_span(
+        self, name: str, append_id: Optional[str], **args: object
+    ) -> Iterator[None]:
+        """Child span for one write-pipeline stage, installed ambiently.
+
+        Unified stage naming (``ds.push_data`` / ``ds.commit_append`` /
+        ``ds.relay`` / ``ds.catch_up``), tagged with the append id and
+        parented under the rpc span that delivered the stage — so the
+        analyze engine can attribute an append's latency to push vs
+        commit vs relay hops by name.  Safe inside generator methods:
+        the ambient context the block installs is saved/restored per
+        process resume, and ``__exit__`` runs in the owning process.
+        """
+        tel = instrument.TELEMETRY
+        if tel is None:
+            yield
+            return
+        span_args = dict(args)
+        if append_id is not None:
+            span_args["append"] = append_id
+        ctx = tel.start_span(
+            self._loop.now, name, "ds", track="ds",
+            span_id=tel.next_id("ds"), host=self.host_id, **span_args,
+        )
+        previous = instrument.set_context(ctx)
+        try:
+            yield
+        finally:
+            instrument.set_context(previous)
+            tel = instrument.TELEMETRY
+            if tel is not None:
+                tel.finish_span(self._loop.now, ctx, name, "ds", track="ds")
+
     # ------------------------------------------------------------------
     # Two-phase, lease-guarded write pipeline
     # ------------------------------------------------------------------
@@ -378,14 +423,16 @@ class Dataserver:
             raise InvalidRequestError("append data length does not match size")
         if append_id in stored.acked_ids or append_id in stored.applied_ids:
             return stored.size_bytes
-        yield from self._dataplane.transfer(
-            from_host, self.host_id, size_bytes, path=path, job_id=job_id
-        )
-        stored.staged[append_id] = (
-            size_bytes, bytes(data) if data is not None else None
-        )
-        self.pushes_staged += 1
-        self._count("ds_pushes_staged_total")
+        with self._stage_span("ds.push_data", append_id,
+                              file=stored.metadata.name, bytes=size_bytes):
+            yield from self._dataplane.transfer(
+                from_host, self.host_id, size_bytes, path=path, job_id=job_id
+            )
+            stored.staged[append_id] = (
+                size_bytes, bytes(data) if data is not None else None
+            )
+            self.pushes_staged += 1
+            self._count("ds_pushes_staged_total")
         return size_bytes
 
     def commit_append(
@@ -411,76 +458,78 @@ class Dataserver:
             self.appends_deduplicated += 1
             self._count("ds_appends_deduplicated_total")
             return stored.acked_ids[append_id]
-        epoch = yield from self._ensure_lease(stored)
-        yield from self._acquire_append_lock(stored)
-        try:
-            if append_id in stored.applied_ids:
-                # Applied by an earlier (timed-out or relay-failed)
-                # attempt — or relayed to us before we were promoted.
-                offset, length = stored.applied_ids[append_id]
-                self.appends_deduplicated += 1
-                self._count("ds_appends_deduplicated_total")
-            else:
-                staged = stored.staged.get(append_id)
-                if staged is None:
-                    raise InvalidRequestError(
-                        f"commit of unstaged append {append_id!r} "
-                        f"(push_data must precede commit_append)"
+        with self._stage_span("ds.commit_append", append_id,
+                              file=stored.metadata.name):
+            epoch = yield from self._ensure_lease(stored)
+            yield from self._acquire_append_lock(stored)
+            try:
+                if append_id in stored.applied_ids:
+                    # Applied by an earlier (timed-out or relay-failed)
+                    # attempt — or relayed to us before we were promoted.
+                    offset, length = stored.applied_ids[append_id]
+                    self.appends_deduplicated += 1
+                    self._count("ds_appends_deduplicated_total")
+                else:
+                    staged = stored.staged.get(append_id)
+                    if staged is None:
+                        raise InvalidRequestError(
+                            f"commit of unstaged append {append_id!r} "
+                            f"(push_data must precede commit_append)"
+                        )
+                    length, data = staged
+                    offset = stored.size_bytes
+                    self._apply_entry(
+                        stored,
+                        LedgerEntry(
+                            append_id=append_id, offset=offset,
+                            length=length, epoch=epoch,
+                        ),
+                        data,
                     )
-                length, data = staged
-                offset = stored.size_bytes
-                self._apply_entry(
-                    stored,
-                    LedgerEntry(
-                        append_id=append_id, offset=offset,
-                        length=length, epoch=epoch,
-                    ),
-                    data,
+                relay_data = self._entry_bytes(stored, append_id, offset, length)
+                entry = LedgerEntry(
+                    append_id=append_id, offset=offset, length=length, epoch=epoch
                 )
-            relay_data = self._entry_bytes(stored, append_id, offset, length)
-            entry = LedgerEntry(
-                append_id=append_id, offset=offset, length=length, epoch=epoch
-            )
-            yield from self._relay_to_children(
-                stored, entry, relay_data, children, job_id
-            )
-            if self._nameserver is not None:
-                try:
-                    yield from self._fabric.invoke(
-                        self.host_id,
-                        self._nameserver,
-                        "nameserver",
-                        "record_append",
-                        stored.metadata.name,
-                        stored.size_bytes,
-                        epoch,
-                        self.host_id,
-                    )
-                except Exception as err:
-                    remote = getattr(err, "remote_error", None)
-                    if isinstance(remote, StaleEpochError):
-                        # Fenced at the nameserver: our authority lapsed
-                        # between the lease check and the record.  The
-                        # append is NOT acknowledged; the current primary
-                        # repairs our tail on its next relay.
-                        self.lease_fencings += 1
-                        self._count("ds_lease_fencings_total")
-                        raise remote
-                    raise
-            new_size = stored.size_bytes
-            stored.acked_ids[append_id] = new_size
-            stored.staged.pop(append_id, None)
-            self.pipelined_appends_served += 1
-            self.appends_served += 1
-            tel = instrument.TELEMETRY
-            if tel is not None:
-                tel.instant(self._loop.now, "ds.commit_append", "ds",
-                            host=self.host_id, file=stored.metadata.name,
-                            append=append_id, epoch=epoch, size=new_size)
-                tel.count("ds_pipelined_appends_total")
-            return new_size
-        finally:
-            self._release_append_lock(stored)
+                yield from self._relay_to_children(
+                    stored, entry, relay_data, children, job_id
+                )
+                if self._nameserver is not None:
+                    try:
+                        yield from self._fabric.invoke(
+                            self.host_id,
+                            self._nameserver,
+                            "nameserver",
+                            "record_append",
+                            stored.metadata.name,
+                            stored.size_bytes,
+                            epoch,
+                            self.host_id,
+                        )
+                    except Exception as err:
+                        remote = getattr(err, "remote_error", None)
+                        if isinstance(remote, StaleEpochError):
+                            # Fenced at the nameserver: our authority lapsed
+                            # between the lease check and the record.  The
+                            # append is NOT acknowledged; the current primary
+                            # repairs our tail on its next relay.
+                            self.lease_fencings += 1
+                            self._count("ds_lease_fencings_total")
+                            raise remote
+                        raise
+                new_size = stored.size_bytes
+                stored.acked_ids[append_id] = new_size
+                stored.staged.pop(append_id, None)
+                self.pipelined_appends_served += 1
+                self.appends_served += 1
+                tel = instrument.TELEMETRY
+                if tel is not None:
+                    tel.instant(self._loop.now, "ds.commit_append", "ds",
+                                host=self.host_id, file=stored.metadata.name,
+                                append=append_id, epoch=epoch, size=new_size)
+                    tel.count("ds_pipelined_appends_total")
+                return new_size
+            finally:
+                self._release_append_lock(stored)
 
     def relay_append(
         self,
@@ -506,59 +555,62 @@ class Dataserver:
         authority for that repair.
         """
         stored = self._stored(file_id)
-        if epoch < stored.epoch:
-            self.lease_fencings += 1
-            self._count("ds_lease_fencings_total")
-            raise StaleEpochError(
-                f"relay of {append_id!r} at epoch {epoch} rejected by "
-                f"{self.host_id} (local epoch {stored.epoch})"
-            )
-        yield from self._acquire_append_lock(stored)
-        try:
-            stored.epoch = max(stored.epoch, epoch)
-            if append_id in stored.applied_ids:
-                self.appends_deduplicated += 1
-                self._count("ds_appends_deduplicated_total")
-            else:
-                if stored.size_bytes > expected_offset:
-                    self._truncate(stored, expected_offset)
-                if stored.size_bytes < expected_offset:
-                    yield from self._catch_up(
-                        stored, from_host, expected_offset, job_id
-                    )
-                if stored.size_bytes != expected_offset:
-                    raise InvalidRequestError(
-                        f"replica {self.host_id} failed to converge to "
-                        f"offset {expected_offset} for {append_id!r} "
-                        f"(at {stored.size_bytes})"
-                    )
-                yield from self._dataplane.transfer(
-                    from_host, self.host_id, size_bytes, path=path,
-                    job_id=job_id,
+        with self._stage_span("ds.relay", append_id,
+                              file=stored.metadata.name, epoch=epoch,
+                              offset=expected_offset):
+            if epoch < stored.epoch:
+                self.lease_fencings += 1
+                self._count("ds_lease_fencings_total")
+                raise StaleEpochError(
+                    f"relay of {append_id!r} at epoch {epoch} rejected by "
+                    f"{self.host_id} (local epoch {stored.epoch})"
                 )
-                self._apply_entry(
-                    stored,
-                    LedgerEntry(
-                        append_id=append_id, offset=expected_offset,
-                        length=size_bytes, epoch=epoch,
-                    ),
-                    data,
+            yield from self._acquire_append_lock(stored)
+            try:
+                stored.epoch = max(stored.epoch, epoch)
+                if append_id in stored.applied_ids:
+                    self.appends_deduplicated += 1
+                    self._count("ds_appends_deduplicated_total")
+                else:
+                    if stored.size_bytes > expected_offset:
+                        self._truncate(stored, expected_offset)
+                    if stored.size_bytes < expected_offset:
+                        yield from self._catch_up(
+                            stored, from_host, expected_offset, job_id
+                        )
+                    if stored.size_bytes != expected_offset:
+                        raise InvalidRequestError(
+                            f"replica {self.host_id} failed to converge to "
+                            f"offset {expected_offset} for {append_id!r} "
+                            f"(at {stored.size_bytes})"
+                        )
+                    yield from self._dataplane.transfer(
+                        from_host, self.host_id, size_bytes, path=path,
+                        job_id=job_id,
+                    )
+                    self._apply_entry(
+                        stored,
+                        LedgerEntry(
+                            append_id=append_id, offset=expected_offset,
+                            length=size_bytes, epoch=epoch,
+                        ),
+                        data,
+                    )
+                # Forward down the chain even when we deduped: our children
+                # may have missed the commit we already have.
+                entry = LedgerEntry(
+                    append_id=append_id, offset=expected_offset,
+                    length=size_bytes, epoch=epoch,
                 )
-            # Forward down the chain even when we deduped: our children
-            # may have missed the commit we already have.
-            entry = LedgerEntry(
-                append_id=append_id, offset=expected_offset,
-                length=size_bytes, epoch=epoch,
-            )
-            relay_data = self._entry_bytes(
-                stored, append_id, expected_offset, size_bytes
-            )
-            yield from self._relay_to_children(
-                stored, entry, relay_data, children, job_id
-            )
-            return stored.size_bytes
-        finally:
-            self._release_append_lock(stored)
+                relay_data = self._entry_bytes(
+                    stored, append_id, expected_offset, size_bytes
+                )
+                yield from self._relay_to_children(
+                    stored, entry, relay_data, children, job_id
+                )
+                return stored.size_bytes
+            finally:
+                self._release_append_lock(stored)
 
     def serve_catch_up(
         self,
@@ -750,36 +802,33 @@ class Dataserver:
         job_id: Optional[str],
     ) -> Generator:
         """Pull and apply the commits in ``[size, upto)`` from ``source``."""
-        reply = yield from self._fabric.invoke(
-            self.host_id,
-            source,
-            "dataserver",
-            "serve_catch_up",
-            stored.metadata.file_id,
-            stored.size_bytes,
-            upto,
-            self.host_id,
-            job_id,
-        )
-        base = reply["offset"]
-        blob = reply["data"]
-        for entry in reply["entries"]:
-            if entry.append_id in stored.applied_ids:
-                continue
-            chunk = (
-                blob[entry.offset - base : entry.offset - base + entry.length]
-                if blob is not None
-                else None
+        with self._stage_span("ds.catch_up", None, file=stored.metadata.name,
+                              source=source, upto=upto):
+            reply = yield from self._fabric.invoke(
+                self.host_id,
+                source,
+                "dataserver",
+                "serve_catch_up",
+                stored.metadata.file_id,
+                stored.size_bytes,
+                upto,
+                self.host_id,
+                job_id,
             )
-            self._apply_entry(stored, entry, chunk)
-        stored.epoch = max(stored.epoch, reply["epoch"])
-        self.relays_caught_up += 1
-        self._count("ds_relays_caught_up_total")
-        tel = instrument.TELEMETRY
-        if tel is not None:
-            tel.instant(self._loop.now, "ds.catch_up", "ds",
-                        host=self.host_id, file=stored.metadata.name,
-                        source=source, upto=upto)
+            base = reply["offset"]
+            blob = reply["data"]
+            for entry in reply["entries"]:
+                if entry.append_id in stored.applied_ids:
+                    continue
+                chunk = (
+                    blob[entry.offset - base : entry.offset - base + entry.length]
+                    if blob is not None
+                    else None
+                )
+                self._apply_entry(stored, entry, chunk)
+            stored.epoch = max(stored.epoch, reply["epoch"])
+            self.relays_caught_up += 1
+            self._count("ds_relays_caught_up_total")
 
     def _relay_to_children(
         self,

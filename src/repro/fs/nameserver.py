@@ -34,6 +34,7 @@ from repro.fs.errors import (
 )
 from repro.fs.placement import PlacementPolicy
 from repro.kvstore import KVStore, KVStoreConfig
+from repro.sim import instrument
 from repro.sim.randomness import seeded_rng
 
 _FILE_PREFIX = "file/"
@@ -67,6 +68,10 @@ class Nameserver:
         #: attaches its :class:`repro.fs.leases.LeaseManager` here so
         #: epoch-stamped ``record_append`` reports can be fenced.
         self.lease_manager = None
+        #: Optional simulated clock (the cluster attaches its event loop)
+        #: so nameserver-side telemetry instants carry sim timestamps;
+        #: without one the instants are simply skipped.
+        self.clock = None
         self.creates = 0
         self.deletes = 0
         self.lookups = 0
@@ -211,6 +216,11 @@ class Nameserver:
             )
         updated = metadata.with_size(new_size_bytes)
         self._db.put(_FILE_PREFIX + name, json.dumps(updated.to_json_dict()))
+        tel = instrument.TELEMETRY
+        if tel is not None and self.clock is not None:
+            tel.instant(self.clock.now, "ns.record_append", "ns",
+                        file=name, size=new_size_bytes, epoch=epoch,
+                        primary=primary)
         return new_size_bytes
 
     def update_replicas(self, name: str, replicas: List[str]) -> dict:

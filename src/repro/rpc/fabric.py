@@ -153,10 +153,20 @@ class RpcFabric:
         settled = [False]
         tel = instrument.TELEMETRY
         call_id: Optional[str] = None
+        rpc_ctx: Optional[instrument.TraceContext] = None
         if tel is not None:
             call_id = f"rpc{self.calls_sent}"
+            # The rpc span is a child of whatever operation issued the
+            # call; the handler (and everything it spawns or calls in
+            # turn) runs under the rpc span's context, so the whole
+            # downstream subtree hangs off this edge.
+            rpc_ctx = instrument.derive_context(call_id)
+            span_args: Dict[str, Any] = {"src": src, "dst": dst,
+                                         "trace": rpc_ctx.trace_id}
+            if rpc_ctx.parent_id is not None:
+                span_args["parent"] = rpc_ctx.parent_id
             tel.begin(self._loop.now, f"{service}.{method}", "rpc", call_id,
-                      track="rpc", src=src, dst=dst)
+                      track="rpc", **span_args)
             tel.count("rpc_calls_total")
 
         def _fire(response: RpcResponse) -> None:
@@ -180,6 +190,19 @@ class RpcFabric:
             self._loop.call_in(self._one_way_delay(), _fire, response)
 
         def _deliver() -> None:
+            # Handlers run under the rpc span's context: a plain handler
+            # sees it for any nested calls it makes synchronously, and a
+            # generator handler's Process captures it at construction.
+            if rpc_ctx is None:
+                _dispatch_request()
+                return
+            previous_ctx = instrument.set_context(rpc_ctx)
+            try:
+                _dispatch_request()
+            finally:
+                instrument.set_context(previous_ctx)
+
+        def _dispatch_request() -> None:
             if dst in self._down or src in self._down:
                 _respond(
                     RpcResponse(

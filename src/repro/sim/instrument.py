@@ -29,10 +29,37 @@ pytest the ``--simsan`` flag does the same through the plugin in
 from __future__ import annotations
 
 import os
+from dataclasses import dataclass
 from typing import Any, Callable, Optional, Tuple
 
 ComponentHook = Callable[[str, Any], None]
 PostEventHook = Callable[[Any], None]
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """Causal position of the currently-executing code in a trace.
+
+    ``trace_id`` names the client-visible operation (the root span);
+    ``span_id`` is the innermost open span; ``parent_id`` is that span's
+    parent (``None`` at the root).  The context lives here — not in
+    :mod:`repro.telemetry` — because the propagation points (the process
+    scheduler and the RPC fabric) must stay import-free of the telemetry
+    package.
+    """
+
+    trace_id: str
+    span_id: str
+    parent_id: Optional[str] = None
+
+
+#: The ambient trace context of the code currently executing, or ``None``
+#: outside any traced operation (and always ``None`` while no telemetry
+#: session is installed).  :class:`repro.sim.process.Process` saves and
+#: restores this around every generator resume — giving each cooperative
+#: process its own logical context, the way ``contextvars`` follow asyncio
+#: tasks — and the RPC fabric forwards it from caller to handler.
+TRACE_CTX: Optional[TraceContext] = None
 
 
 class Subscription:
@@ -121,6 +148,45 @@ def set_telemetry(sink: Optional[Any]) -> None:
     """Publish (or clear, with ``None``) the active telemetry sink."""
     global TELEMETRY
     TELEMETRY = sink
+
+
+def current_context() -> Optional[TraceContext]:
+    """The ambient :class:`TraceContext`, if any."""
+    return TRACE_CTX
+
+
+def set_context(ctx: Optional[TraceContext]) -> Optional[TraceContext]:
+    """Install ``ctx`` as the ambient context; returns the previous one."""
+    global TRACE_CTX
+    previous = TRACE_CTX
+    TRACE_CTX = ctx
+    return previous
+
+
+def derive_context(span_id: str) -> TraceContext:
+    """A child context of the ambient one (or a fresh root when none)."""
+    parent = TRACE_CTX
+    if parent is None:
+        return TraceContext(trace_id=span_id, span_id=span_id, parent_id=None)
+    return TraceContext(
+        trace_id=parent.trace_id, span_id=span_id, parent_id=parent.span_id
+    )
+
+
+def flight_trigger(ts: float, reason: str, **details: Any) -> Optional[Any]:
+    """Snapshot the active flight recorder, if one is armed.
+
+    Fault injection, invariant violations and explorer counterexamples
+    call this (duck typed, so none of them import the telemetry
+    package); returns the dump, or ``None`` when no recorder is live.
+    """
+    tel = TELEMETRY
+    if tel is None:
+        return None
+    flight = getattr(tel, "flight", None)
+    if flight is None:
+        return None
+    return flight.trigger(ts, reason, **details)
 
 
 def notify_component(kind: str, component: Any) -> None:

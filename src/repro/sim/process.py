@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Generator, Optional
 
+from repro.sim import instrument
 from repro.sim.engine import EventHandle, EventLoop, SimulationError
 
 
@@ -114,6 +115,11 @@ class Process:
         self._done_signal = Signal(loop, name=f"done:{name}")
         self._pending_handle: Optional[EventHandle] = None
         self._killed = False
+        # The trace context of whoever constructed this process.  Each
+        # resume runs the generator under the process's own saved context
+        # (and saves back whatever it left installed), so contexts follow
+        # cooperative processes the way contextvars follow asyncio tasks.
+        self._trace_ctx = instrument.TRACE_CTX
         # Kick off on a zero-delay event so construction never runs user code.
         self._pending_handle = loop.call_in(0.0, self._advance, None, None)
 
@@ -136,21 +142,27 @@ class Process:
         if self.finished:
             return
         self._pending_handle = None
+        outer_ctx = instrument.TRACE_CTX
+        instrument.TRACE_CTX = self._trace_ctx
         try:
-            if exc is not None:
-                directive = self._gen.throw(exc)
-            else:
-                directive = self._gen.send(value)
-        except StopIteration as stop:
-            self._finish(result=stop.value)
-            return
-        except ProcessKilled:
-            self._finish(result=None)
-            return
-        except BaseException as err:  # noqa: BLE001 - surfaced via .exception
-            self._finish(error=err)
-            return
-        self._dispatch(directive)
+            try:
+                if exc is not None:
+                    directive = self._gen.throw(exc)
+                else:
+                    directive = self._gen.send(value)
+            except StopIteration as stop:
+                self._finish(result=stop.value)
+                return
+            except ProcessKilled:
+                self._finish(result=None)
+                return
+            except BaseException as err:  # noqa: BLE001 - surfaced via .exception
+                self._finish(error=err)
+                return
+            self._dispatch(directive)
+        finally:
+            self._trace_ctx = instrument.TRACE_CTX
+            instrument.TRACE_CTX = outer_ctx
 
     def _dispatch(self, directive: Any) -> None:
         if isinstance(directive, Delay):

@@ -19,7 +19,24 @@ then ``python -m repro.telemetry summarize trace.jsonl`` or load
 ``trace.json`` in https://ui.perfetto.dev.  See DESIGN.md §Telemetry.
 """
 
+from repro.sim.instrument import TraceContext
+from repro.telemetry.analyze import (
+    PathSegment,
+    Span,
+    StageStats,
+    build_trees,
+    critical_path,
+    operations,
+    render_report,
+    stage_profile,
+)
 from repro.telemetry.bind import bind_resilience_metrics, bind_standard_probes
+from repro.telemetry.flight import (
+    FlightDump,
+    FlightRecorder,
+    read_flight_dump,
+    write_flight_dump,
+)
 from repro.telemetry.exporters import (
     read_jsonl,
     render_prometheus,
@@ -56,28 +73,41 @@ from repro.telemetry.tracer import (
 __all__ = [
     "DEFAULT_BUCKETS",
     "Counter",
+    "FlightDump",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "MetricError",
     "MetricsRegistry",
+    "PathSegment",
+    "Span",
+    "StageStats",
     "Telemetry",
     "TimeSeriesSampler",
+    "TraceContext",
     "TraceError",
     "TraceEvent",
     "Tracer",
     "active",
     "bind_resilience_metrics",
     "bind_standard_probes",
+    "build_trees",
+    "critical_path",
     "install",
+    "operations",
     "pair_async_spans",
+    "read_flight_dump",
     "read_jsonl",
     "render_prometheus",
+    "render_report",
     "session",
+    "stage_profile",
     "to_chrome_trace",
     "to_jsonl",
     "uninstall",
     "validate_chrome_trace",
     "write_chrome_trace",
+    "write_flight_dump",
     "write_jsonl",
     "write_prometheus",
 ]

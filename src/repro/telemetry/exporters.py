@@ -96,6 +96,8 @@ def to_chrome_trace(
     """
     events = _events_of(source)
     tids: Dict[str, int] = {}
+    #: span id -> its begin event (for flow-arrow synthesis below).
+    begin_by_id: Dict[str, TraceEvent] = {}
     trace_events: List[Dict[str, object]] = [
         {
             "name": "process_name",
@@ -135,9 +137,50 @@ def to_chrome_trace(
             out["s"] = "t"  # instant scope: thread
         if event.ph in ("b", "e"):
             out["id"] = event.id if event.id is not None else "0"
+            if event.ph == "b" and event.id is not None:
+                begin_by_id[str(event.id)] = event
         if event.args:
             out["args"] = dict(event.args)
         trace_events.append(out)
+
+    # Parent/child span links (the `parent` arg context propagation adds)
+    # become Chrome flow arrows: a flow start (`s`) at the parent's begin
+    # and a flow finish (`f`, binding point "e"nclosing-slice begin) at
+    # the child's begin, correlated by a per-edge flow id.  Perfetto then
+    # draws each operation tree as connected arrows across tracks.
+    for event in events:
+        if event.ph != "b" or not event.args or event.id is None:
+            continue
+        parent_id = event.args.get("parent")
+        if parent_id is None:
+            continue
+        parent = begin_by_id.get(str(parent_id))
+        if parent is None:
+            continue  # dangling reference; the validator reports these
+        flow_id = f"flow:{event.id}"
+        trace_events.append(
+            {
+                "name": "causal",
+                "cat": "flow",
+                "ph": "s",
+                "id": flow_id,
+                "ts": parent.ts * 1e6,
+                "pid": TRACE_PID,
+                "tid": tid_for(parent.track),
+            }
+        )
+        trace_events.append(
+            {
+                "name": "causal",
+                "cat": "flow",
+                "ph": "f",
+                "bp": "e",
+                "id": flow_id,
+                "ts": event.ts * 1e6,
+                "pid": TRACE_PID,
+                "tid": tid_for(event.track),
+            }
+        )
 
     other: Dict[str, object] = {"clock": "simulated-seconds-x1e6"}
     if registry is not None:
@@ -164,8 +207,9 @@ def write_chrome_trace(
     return out
 
 
-#: Valid phases in an exported Chrome trace (M = metadata we add).
-CHROME_PHASES = frozenset({"i", "B", "E", "b", "e", "C", "M"})
+#: Valid phases in an exported Chrome trace (M = metadata we add;
+#: s/t/f = flow start/step/finish arrows for parent/child span links).
+CHROME_PHASES = frozenset({"i", "B", "E", "b", "e", "C", "M", "s", "t", "f"})
 
 
 def validate_chrome_trace(payload: Dict[str, object]) -> List[str]:
@@ -179,6 +223,15 @@ def validate_chrome_trace(payload: Dict[str, object]) -> List[str]:
     if not isinstance(events, list):
         return ["traceEvents missing or not a list"]
     open_sync: Dict[int, List[str]] = {}
+    #: async begin-event ids (targets of `args.parent` references).
+    begin_ids = {
+        str(item["id"])
+        for item in events
+        if isinstance(item, dict) and item.get("ph") == "b" and "id" in item
+    }
+    #: flow id -> count of start (s) / finish (f) events, for pairing.
+    flow_starts: Dict[str, int] = {}
+    flow_finishes: Dict[str, int] = {}
     for index, item in enumerate(events):
         if not isinstance(item, dict):
             problems.append(f"event {index}: not an object")
@@ -199,6 +252,29 @@ def validate_chrome_trace(payload: Dict[str, object]) -> List[str]:
                 problems.append(f"{where}: missing 'cat'")
         if ph in ("b", "e") and "id" not in item:
             problems.append(f"{where}: async event without 'id'")
+        if ph == "b":
+            span_args = item.get("args")
+            if isinstance(span_args, dict) and "parent" in span_args:
+                parent_ref = str(span_args["parent"])
+                if parent_ref not in begin_ids:
+                    problems.append(
+                        f"{where}: dangling parent reference {parent_ref!r}"
+                    )
+        if ph in ("s", "t", "f"):
+            flow_id = item.get("id")
+            if flow_id is None:
+                problems.append(f"{where}: flow event without 'id'")
+            else:
+                key = str(flow_id)
+                if ph == "s":
+                    flow_starts[key] = flow_starts.get(key, 0) + 1
+                elif ph == "f":
+                    flow_finishes[key] = flow_finishes.get(key, 0) + 1
+            if ph == "f" and item.get("bp") not in (None, "e"):
+                problems.append(
+                    f"{where}: flow finish with bad binding point "
+                    f"{item.get('bp')!r}"
+                )
         if ph == "i" and item.get("s") not in ("t", "p", "g"):
             problems.append(f"{where}: instant without a valid scope 's'")
         if ph == "C" and not isinstance(item.get("args"), dict):
@@ -216,6 +292,13 @@ def validate_chrome_trace(payload: Dict[str, object]) -> List[str]:
     for tid, stack in open_sync.items():
         if stack:
             problems.append(f"tid {tid}: {len(stack)} sync span(s) left open")
+    for flow_id in sorted(set(flow_starts) | set(flow_finishes)):
+        starts = flow_starts.get(flow_id, 0)
+        finishes = flow_finishes.get(flow_id, 0)
+        if starts != finishes:
+            problems.append(
+                f"flow {flow_id!r}: {starts} start(s) but {finishes} finish(es)"
+            )
     return problems
 
 

@@ -25,6 +25,7 @@ from typing import ContextManager, Iterator, Mapping, Optional, Sequence
 from repro.sim import instrument
 from repro.sim.engine import EventLoop
 
+from repro.telemetry.flight import DEFAULT_CAPACITY, FlightRecorder
 from repro.telemetry.metrics import (
     DEFAULT_BUCKETS,
     Histogram,
@@ -32,6 +33,7 @@ from repro.telemetry.metrics import (
     TimeSeriesSampler,
 )
 from repro.telemetry.tracer import Clock, Tracer
+from repro.sim.instrument import TraceContext
 
 
 class Telemetry:
@@ -45,6 +47,9 @@ class Telemetry:
         self.tracer = tracer if tracer is not None else Tracer()
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._sampler: Optional[TimeSeriesSampler] = None
+        #: Armed flight recorder, reachable by the failure hooks through
+        #: ``instrument.flight_trigger`` (None unless attached).
+        self.flight: Optional[FlightRecorder] = None
 
     # ------------------------------------------------------------------
     # Tracer delegation (the emit-site surface)
@@ -66,8 +71,41 @@ class Telemetry:
              **args: object) -> ContextManager[None]:
         return self.tracer.span(clock, name, cat, track, **args)
 
+    def start_span(self, ts: float, name: str, cat: str, track: str = "sim",
+                   span_id: Optional[str] = None, **args: object) -> TraceContext:
+        return self.tracer.start_span(ts, name, cat, track, span_id, **args)
+
+    def finish_span(self, ts: float, ctx: TraceContext, name: str, cat: str,
+                    track: str = "sim", **args: object) -> None:
+        self.tracer.finish_span(ts, ctx, name, cat, track, **args)
+
     def next_id(self, prefix: str) -> str:
         return self.tracer.next_id(prefix)
+
+    # ------------------------------------------------------------------
+    # Flight recorder
+    # ------------------------------------------------------------------
+
+    def attach_flight(
+        self,
+        recorder: Optional[FlightRecorder] = None,
+        capacity_per_track: int = DEFAULT_CAPACITY,
+    ) -> FlightRecorder:
+        """Arm a flight recorder as a tracer observer (replacing any)."""
+        self.detach_flight()
+        if recorder is None:
+            recorder = FlightRecorder(capacity_per_track=capacity_per_track)
+        self.flight = recorder
+        self.tracer.add_observer(recorder.record)
+        return recorder
+
+    def detach_flight(self) -> Optional[FlightRecorder]:
+        """Disarm the flight recorder; its dumps stay readable."""
+        recorder = self.flight
+        if recorder is not None:
+            self.tracer.remove_observer(recorder.record)
+            self.flight = None
+        return recorder
 
     # ------------------------------------------------------------------
     # Metrics conveniences

@@ -24,7 +24,10 @@ from __future__ import annotations
 import itertools
 from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Mapping, Optional, Protocol, Tuple
+from typing import Callable, Dict, Iterator, List, Mapping, Optional, Protocol, Tuple
+
+from repro.sim import instrument
+from repro.sim.instrument import TraceContext
 
 #: The Chrome trace-event phases this tracer emits.
 PHASES = ("i", "B", "E", "b", "e", "C")
@@ -89,16 +92,26 @@ class Tracer:
         #: Per-track stack of open sync spans (nesting enforcement).
         self._open: Dict[str, List[_OpenSpan]] = {}
         self._id_seqs: Dict[str, "itertools.count[int]"] = {}
+        #: Event observers (the flight recorder); called per recorded
+        #: event, after it is appended.  Tuple so fan-out never sees a
+        #: half-updated list.
+        self._observers: Tuple[Callable[[TraceEvent], None], ...] = ()
 
     # ------------------------------------------------------------------
     # Recording
     # ------------------------------------------------------------------
 
+    def _record(self, event: TraceEvent) -> None:
+        self.events.append(event)
+        if self._observers:
+            for observer in self._observers:
+                observer(event)
+
     def instant(
         self, ts: float, name: str, cat: str, track: str = "sim", **args: object
     ) -> None:
         """Record a point event."""
-        self.events.append(
+        self._record(
             TraceEvent(ts=ts, ph="i", cat=cat, name=name, track=track,
                        args=args or None)
         )
@@ -107,7 +120,7 @@ class Tracer:
         self, ts: float, name: str, values: Mapping[str, float], track: str = "metrics"
     ) -> None:
         """Record a counter sample (one dict of named series)."""
-        self.events.append(
+        self._record(
             TraceEvent(ts=ts, ph="C", cat="metric", name=name, track=track,
                        args=dict(values))
         )
@@ -122,7 +135,7 @@ class Tracer:
         **args: object,
     ) -> None:
         """Open an async span; pair with :meth:`end` via ``(cat, span_id)``."""
-        self.events.append(
+        self._record(
             TraceEvent(ts=ts, ph="b", cat=cat, name=name, track=track,
                        id=span_id, args=args or None)
         )
@@ -137,10 +150,55 @@ class Tracer:
         **args: object,
     ) -> None:
         """Close the async span opened with the same ``(cat, span_id)``."""
-        self.events.append(
+        self._record(
             TraceEvent(ts=ts, ph="e", cat=cat, name=name, track=track,
                        id=span_id, args=args or None)
         )
+
+    # ------------------------------------------------------------------
+    # Causally-linked spans (trace / parent threading)
+    # ------------------------------------------------------------------
+
+    def start_span(
+        self,
+        ts: float,
+        name: str,
+        cat: str,
+        track: str = "sim",
+        span_id: Optional[str] = None,
+        **args: object,
+    ) -> TraceContext:
+        """Open an async span parented under the ambient trace context.
+
+        The begin event's ``args`` carry the span's ``trace`` (root
+        operation id) and, for non-roots, its ``parent`` span id — the
+        edges :mod:`repro.telemetry.analyze` rebuilds operation trees
+        from.  Returns the child :class:`TraceContext`; the caller
+        decides whether to install it ambiently (via
+        :func:`repro.sim.instrument.set_context`) for the span's dynamic
+        extent.
+        """
+        if span_id is None:
+            span_id = self.next_id("span")
+        ctx = instrument.derive_context(span_id)
+        linked: Dict[str, object] = {"trace": ctx.trace_id}
+        if ctx.parent_id is not None:
+            linked["parent"] = ctx.parent_id
+        linked.update(args)
+        self.begin(ts, name, cat, span_id, track, **linked)
+        return ctx
+
+    def finish_span(
+        self,
+        ts: float,
+        ctx: TraceContext,
+        name: str,
+        cat: str,
+        track: str = "sim",
+        **args: object,
+    ) -> None:
+        """Close the span :meth:`start_span` opened for ``ctx``."""
+        self.end(ts, name, cat, ctx.span_id, track, **args)
 
     @contextmanager
     def span(
@@ -151,7 +209,7 @@ class Tracer:
         Nesting is enforced per track: spans close strictly LIFO, so the
         B/E pairs always form a well-formed tree in the exported trace.
         """
-        self.events.append(
+        self._record(
             TraceEvent(ts=clock.now, ph="B", cat=cat, name=name, track=track,
                        args=args or None)
         )
@@ -165,7 +223,7 @@ class Tracer:
                     f"sync span {name!r} on track {track!r} closed out of order"
                 )
             stack.pop()
-            self.events.append(
+            self._record(
                 TraceEvent(ts=clock.now, ph="E", cat=cat, name=name, track=track)
             )
 
@@ -180,6 +238,19 @@ class Tracer:
             seq = itertools.count()
             self._id_seqs[prefix] = seq
         return f"{prefix}{next(seq)}"
+
+    def add_observer(self, observer: Callable[[TraceEvent], None]) -> None:
+        """Register a per-event observer (e.g. a flight recorder)."""
+        self._observers = self._observers + (observer,)
+
+    def remove_observer(self, observer: Callable[[TraceEvent], None]) -> None:
+        """Remove a registered observer (idempotent).
+
+        Compares by equality, not identity, so a bound method (a fresh
+        object per attribute access, e.g. ``recorder.record``) unregisters
+        correctly.
+        """
+        self._observers = tuple(o for o in self._observers if o != observer)
 
     def open_sync_spans(self) -> int:
         """Number of sync spans currently open (0 in a settled trace)."""
