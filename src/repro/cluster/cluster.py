@@ -11,7 +11,7 @@ scheduling) and ``hdfs-ecmp`` (rack-aware selection + ECMP).
 from __future__ import annotations
 
 import tempfile
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Dict, Generator, Optional
 
@@ -60,6 +60,11 @@ class ClusterConfig:
     rpc_latency: float = 0.0005
     rpc_jitter: float = 0.0
     flowserver: FlowserverConfig = field(default_factory=FlowserverConfig)
+    #: Convenience override for ``flowserver.poll_mode`` ("fixed" or
+    #: "adaptive") so experiment sweeps can toggle the monitoring
+    #: strategy without constructing a whole FlowserverConfig.  ``None``
+    #: leaves ``flowserver.poll_mode`` as given.
+    poll_mode: Optional[str] = None
     seed: int = 0
     db_directory: Optional[Path] = None
     #: 1 = the paper's centralized nameserver; >= 3 = Paxos-replicated
@@ -116,8 +121,11 @@ class Cluster:
         self.routing = RoutingTable(self.topology)
         self.controller = Controller(self.network)
         needs_flowserver = self.config.scheme in ("mayflower", "hdfs-mayflower")
+        fs_config = self.config.flowserver
+        if self.config.poll_mode is not None:
+            fs_config = replace(fs_config, poll_mode=self.config.poll_mode)
         self.flowserver: Optional[Flowserver] = (
-            Flowserver(self.controller, self.routing, self.config.flowserver)
+            Flowserver(self.controller, self.routing, fs_config)
             if needs_flowserver
             else None
         )

@@ -16,9 +16,13 @@ route the read over).  This package implements:
   when the combined share beats the single best flow;
 * :mod:`repro.core.stats` — the periodic flow-stats collector that refreshes
   bandwidth/remaining-size estimates from edge-switch counters;
+* :mod:`repro.core.adaptive_stats` — the opt-in adaptive collector:
+  balanced per-flow polling points, per-flow fast/slow cadence, and
+  switch-side delta push (``poll_mode="adaptive"``);
 * :mod:`repro.core.flowserver` — the service tying it all together.
 """
 
+from repro.core.adaptive_stats import AdaptiveStatsCollector, AdaptiveStatsConfig
 from repro.core.cost import CostBreakdown, estimate_path_share, flow_cost
 from repro.core.flow_state import FlowStateTable, TrackedFlow
 from repro.core.flowserver import Assignment, Flowserver, FlowserverConfig, SelectionResult
@@ -28,6 +32,8 @@ from repro.core.stats import FlowStatsCollector
 from repro.core.write_placement import FlowserverWritePlacement
 
 __all__ = [
+    "AdaptiveStatsCollector",
+    "AdaptiveStatsConfig",
     "Assignment",
     "CostBreakdown",
     "FlowStateTable",

@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 from types import TracebackType
 from typing import Deque, Dict, List, Optional, Sequence, Tuple, Type
 
+from repro.core.adaptive_stats import AdaptiveStatsCollector, AdaptiveStatsConfig
 from repro.core.cost import LinkShareCache, estimate_path_share
 from repro.core.fanout import (
     EdgeEstimate,
@@ -93,6 +94,12 @@ class FlowserverConfig:
     """
 
     poll_interval: float = 1.0
+    #: Monitoring strategy: ``"fixed"`` is the paper's poll-everything
+    #: loop (default; fingerprint-stable), ``"adaptive"`` enables the
+    #: Floware-style balanced, cadence-aware, push-assisted collector
+    #: (:mod:`repro.core.adaptive_stats`), tuned by ``adaptive``.
+    poll_mode: str = "fixed"
+    adaptive: AdaptiveStatsConfig = field(default_factory=AdaptiveStatsConfig)
     enable_multi_replica: bool = True
     enable_freeze: bool = True
     include_existing_flows_in_cost: bool = True
@@ -151,12 +158,26 @@ class Flowserver:
             for lid, link in controller.network.topology.links.items()
         }
         self._planner = MultiReplicaPlanner(self.config.split_improvement_factor)
-        self.collector = FlowStatsCollector(
-            self._loop,
-            controller,
-            self.state,
-            poll_interval=self.config.poll_interval,
-        )
+        if self.config.poll_mode == "fixed":
+            self.collector: FlowStatsCollector = FlowStatsCollector(
+                self._loop,
+                controller,
+                self.state,
+                poll_interval=self.config.poll_interval,
+            )
+        elif self.config.poll_mode == "adaptive":
+            self.collector = AdaptiveStatsCollector(
+                self._loop,
+                controller,
+                self.state,
+                poll_interval=self.config.poll_interval,
+                config=self.config.adaptive,
+            )
+        else:
+            raise ValueError(
+                f"poll_mode must be 'fixed' or 'adaptive', "
+                f"got {self.config.poll_mode!r}"
+            )
         controller.add_flow_removed_listener(self._on_flow_removed)
         self._flow_seq = itertools.count()
         self._request_seq = itertools.count()

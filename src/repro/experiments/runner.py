@@ -9,7 +9,7 @@ finishes.  The full DFS stack (Fig. 8) lives in :mod:`repro.cluster`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from repro.baselines.hedera import HederaScheduler
 from repro.baselines.monitor import EndHostMonitor
@@ -159,11 +159,15 @@ def run_scheme_on_workload(
     workload: Workload,
     config: Optional[SchemeRunConfig] = None,
     seed: int = 0,
+    on_env: Optional[Callable[[ExperimentEnv], None]] = None,
 ) -> List[JobRecord]:
     """Run the full trace and return per-job completion records.
 
     The workload must have been generated against the same topology shape
-    as ``config`` describes (host ids must exist).
+    as ``config`` describes (host ids must exist).  ``on_env`` (when
+    given) is invoked with the live :class:`ExperimentEnv` after the
+    trace drains but before teardown, so callers can harvest collector
+    counters and decision logs without re-running the trace.
     """
     config = config or SchemeRunConfig()
     env = build_environment(scheme_name, config, seed)
@@ -253,6 +257,8 @@ def run_scheme_on_workload(
         tel.instant(loop.now, "run.end", "sim", scheme=scheme_name,
                     completed=len(records))
         tel.stop_sampler()
+    if on_env is not None:
+        on_env(env)
     if env.monitor:
         env.monitor.stop()
     if env.flowserver:

@@ -19,6 +19,7 @@ from repro.sim import instrument
 
 if TYPE_CHECKING:
     from repro.core.stats import FlowStatsCollector
+    from repro.sdn.push import DeltaPushService
     from repro.fs.dataserver import Dataserver
     from repro.fs.leases import LeaseManager
     from repro.rpc.fabric import RpcFabric
@@ -224,6 +225,26 @@ class FaultInjector:
         if self._collector is None:
             return "no collector (scheme without Flowserver); no-op"
         self._collector.suppress_polls = False
+        return ""
+
+    def _push_service(self) -> Optional["DeltaPushService"]:
+        # Only the adaptive collector has a push channel; fixed-mode
+        # collectors (and schemes without a Flowserver) make push faults
+        # no-ops by construction.
+        return getattr(self._collector, "push", None)
+
+    def _do_push_loss(self, event: FaultEvent) -> str:
+        service = self._push_service()
+        if service is None:
+            return "no push channel (fixed polling or no Flowserver); no-op"
+        service.suppress = True
+        return ""
+
+    def _do_push_restore(self, event: FaultEvent) -> str:
+        service = self._push_service()
+        if service is None:
+            return "no push channel (fixed polling or no Flowserver); no-op"
+        service.suppress = False
         return ""
 
     def _do_rpc_delay_spike(self, event: FaultEvent) -> str:

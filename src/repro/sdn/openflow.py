@@ -82,3 +82,24 @@ class FlowStatsReply:
     switch_id: str
     timestamp: float
     flows: Tuple[FlowStat, ...]
+
+
+@dataclass(frozen=True)
+class CounterPush:
+    """Switch-to-controller proactive counter report (adaptive monitoring).
+
+    Under ``poll_mode="adaptive"`` the collector registers a byte-delta
+    threshold per monitored flow; the switch then *pushes* the flow's
+    cumulative counter whenever it has advanced past the threshold since
+    the last report, instead of waiting to be polled.  ``seq`` increments
+    per (switch, flow) subscription so the collector can discard
+    duplicate or reordered pushes — reconciliation against the poll
+    schedule must be idempotent.
+    """
+
+    switch_id: str
+    flow_id: str
+    seq: int
+    timestamp: float
+    bytes_sent: float
+    remaining_bits: float

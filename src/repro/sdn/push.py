@@ -1,0 +1,198 @@
+"""Switch-side delta push for flow counters (adaptive monitoring).
+
+Under fixed-interval monitoring every byte of counter freshness costs a
+round trip.  :class:`DeltaPushService` inverts the channel for selected
+flows: the collector registers a byte-delta **threshold** per
+(switch, flow), and the switch proactively reports the flow's cumulative
+counter only when it has advanced past the threshold since the last
+report — whether that last report was a push or an ordinary poll.
+
+The periodic check runs *on the switch* (it reads local counters), so it
+costs no controller-channel messages; only an actual
+:class:`~repro.sdn.openflow.CounterPush` crossing the channel does.
+Pushes carry a per-subscription sequence number so the collector can
+reconcile them idempotently against its own poll schedule.
+
+``suppress`` models the ``push_loss`` fault: the switch keeps generating
+reports but none reach the controller — the collector's poll schedule is
+the backstop that keeps every flow observed within its cadence ceiling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Dict, Optional
+
+from repro.sdn.openflow import CounterPush
+from repro.sim.engine import EventLoop, PeriodicTimer
+
+if TYPE_CHECKING:
+    from repro.sdn.controller import Controller
+
+#: Estimated OpenFlow message size (bytes) of one unsolicited counter
+#: report: a multipart header plus a single flow entry.  Sized like a
+#: one-flow OFPMP_FLOW reply — the push is the same record, unasked-for.
+PUSH_MESSAGE_BYTES = 100
+
+
+@dataclass
+class PushRegistration:
+    """One (switch, flow) push subscription."""
+
+    switch_id: str
+    flow_id: str
+    threshold_bytes: float
+    #: Cumulative counter at the last report the controller has (from
+    #: either a push or a poll); deltas are measured against this.
+    last_reported_bytes: float
+    #: Monotonic per-subscription sequence, bumped on every push sent.
+    seq: int = 0
+
+
+class DeltaPushService:
+    """Runs the switch-local threshold checks and delivers pushes.
+
+    Parameters
+    ----------
+    loop:
+        The simulation clock (the "switch-local timer").
+    controller:
+        Used only to read switch liveness and counters; a down switch
+        generates nothing.
+    sink:
+        Where pushes land (the adaptive collector's reconciliation hook).
+    check_interval:
+        Switch-local counter check period, seconds.
+    """
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        controller: "Controller",
+        sink: Callable[[CounterPush], None],
+        check_interval: float,
+    ) -> None:
+        if check_interval <= 0:
+            raise ValueError(
+                f"check_interval must be positive, got {check_interval}"
+            )
+        self._loop = loop
+        self._controller = controller
+        self._sink = sink
+        self.check_interval = check_interval
+        #: switch id -> flow id -> registration
+        self._regs: Dict[str, Dict[str, PushRegistration]] = {}
+        #: Fault hook (``push_loss``): reports are generated but dropped.
+        self.suppress = False
+        self.registrations_total = 0
+        self.pushes_sent = 0
+        self.pushes_lost = 0
+        self.checks_run = 0
+        self._timer: Optional[PeriodicTimer] = None
+
+    # ------------------------------------------------------------------
+    # Subscription management (collector-facing)
+    # ------------------------------------------------------------------
+
+    def register(
+        self,
+        switch_id: str,
+        flow_id: str,
+        threshold_bytes: float,
+        baseline_bytes: float = 0.0,
+    ) -> None:
+        """Subscribe ``flow_id``'s counter on ``switch_id`` (idempotent).
+
+        ``baseline_bytes`` is the counter value the controller already
+        has; the first push fires once the counter exceeds it by the
+        threshold.
+        """
+        if threshold_bytes <= 0:
+            raise ValueError(
+                f"threshold_bytes must be positive, got {threshold_bytes}"
+            )
+        per_switch = self._regs.setdefault(switch_id, {})
+        if flow_id not in per_switch:
+            per_switch[flow_id] = PushRegistration(
+                switch_id=switch_id,
+                flow_id=flow_id,
+                threshold_bytes=threshold_bytes,
+                last_reported_bytes=baseline_bytes,
+            )
+            self.registrations_total += 1
+        self._ensure_running()
+
+    def unregister(self, flow_id: str, switch_id: Optional[str] = None) -> None:
+        """Drop the flow's subscription(s); idempotent."""
+        targets = [switch_id] if switch_id is not None else sorted(self._regs)
+        for sid in targets:
+            per_switch = self._regs.get(sid)
+            if per_switch is not None:
+                per_switch.pop(flow_id, None)
+                if not per_switch:
+                    del self._regs[sid]
+        if not self._regs:
+            self.stop()
+
+    def note_reported(self, flow_id: str, bytes_sent: float) -> None:
+        """Record that the controller saw the counter by other means.
+
+        Called by the collector after a successful poll, so the push
+        threshold measures the delta since the *last report of any kind*
+        and a poll-then-push sequence cannot double-report one delta.
+        """
+        for sid in sorted(self._regs):
+            reg = self._regs[sid].get(flow_id)
+            if reg is not None and bytes_sent > reg.last_reported_bytes:
+                reg.last_reported_bytes = bytes_sent
+
+    def registered_flows(self) -> int:
+        return sum(len(per_switch) for per_switch in self._regs.values())
+
+    # ------------------------------------------------------------------
+    # Switch-local check loop
+    # ------------------------------------------------------------------
+
+    def _ensure_running(self) -> None:
+        if self._timer is None or self._timer.stopped:
+            self._timer = PeriodicTimer(
+                self._loop, self.check_interval, self._tick
+            )
+
+    def stop(self) -> None:
+        if self._timer is not None:
+            self._timer.stop()
+
+    def _tick(self) -> None:
+        self.checks_run += 1
+        now = self._loop.now
+        for switch_id in sorted(self._regs):
+            if not self._controller.switch_is_up(switch_id):
+                # A dead switch pushes nothing; its flows were aborted
+                # and the collector's poll schedule notices the silence.
+                continue
+            per_switch = self._regs[switch_id]
+            switch = self._controller.switch(switch_id)
+            for stat in switch.flow_stats_for(sorted(per_switch)):
+                reg = per_switch[stat.flow_id]
+                delta = stat.bytes_sent - reg.last_reported_bytes
+                if delta < reg.threshold_bytes:
+                    continue
+                reg.last_reported_bytes = stat.bytes_sent
+                reg.seq += 1
+                if self.suppress:
+                    self.pushes_lost += 1
+                    continue
+                self.pushes_sent += 1
+                self._sink(
+                    CounterPush(
+                        switch_id=switch_id,
+                        flow_id=stat.flow_id,
+                        seq=reg.seq,
+                        timestamp=now,
+                        bytes_sent=stat.bytes_sent,
+                        remaining_bits=stat.remaining_bits,
+                    )
+                )
+        if not self._regs:
+            self.stop()
