@@ -13,7 +13,7 @@ from __future__ import annotations
 import tempfile
 from dataclasses import dataclass, field, replace
 from pathlib import Path
-from typing import Dict, Generator, Optional
+from typing import TYPE_CHECKING, Dict, Generator, List, Optional
 
 from repro.baselines.selectors import NearestReplicaSelector
 from repro.cluster.dataplane import SimulatedDataPlane
@@ -33,6 +33,11 @@ from repro.sdn.controller import Controller
 from repro.sim.engine import EventLoop
 from repro.sim.process import Process
 from repro.sim.randomness import RandomStreams
+
+if TYPE_CHECKING:
+    from repro.core.coordinator import GlobalCoordinator
+    from repro.core.domains import DomainFlowserver
+    from repro.fs.shardmap import PartitionGuard, ShardMap
 
 #: Virtual RPC endpoint where the Flowserver service lives (the SDN
 #: controller is reachable over the management network, not the data
@@ -93,6 +98,19 @@ class ClusterConfig:
     #: only meaningful under a flowserver scheme), "chain" always relays
     #: down the static metadata chain (the ECMP-era baseline).
     fanout: str = "auto"
+    #: Sharded control plane: 1 (default) runs the paper's monolithic
+    #: Flowserver, bit-identical to previous HEAD; a value equal to
+    #: ``pods`` runs one :class:`~repro.core.domains.DomainFlowserver`
+    #: per pod behind a :class:`~repro.core.coordinator.
+    #: GlobalCoordinator`.  No other values are accepted — domains are
+    #: pod-granular by construction.
+    controller_domains: int = 1
+    #: Metadata sharding: 1 (default) is the monolithic nameserver;
+    #: P > 1 splits the namespace into P consistent-hashed partitions,
+    #: each its own nameserver (single instance, or a Paxos group of
+    #: ``nameserver_replicas`` when that is >= 3), with clients routing
+    #: through a cached shard map.
+    metadata_partitions: int = 1
 
 
 class Cluster:
@@ -124,11 +142,37 @@ class Cluster:
         fs_config = self.config.flowserver
         if self.config.poll_mode is not None:
             fs_config = replace(fs_config, poll_mode=self.config.poll_mode)
-        self.flowserver: Optional[Flowserver] = (
-            Flowserver(self.controller, self.routing, fs_config)
-            if needs_flowserver
-            else None
-        )
+        self.domain_flowservers: Dict[str, "DomainFlowserver"] = {}
+        self.coordinator: Optional["GlobalCoordinator"] = None
+        if self.config.controller_domains <= 1:
+            self.flowserver: Optional[Flowserver] = (
+                Flowserver(self.controller, self.routing, fs_config)
+                if needs_flowserver
+                else None
+            )
+        else:
+            if not needs_flowserver:
+                raise ValueError(
+                    "controller_domains > 1 requires a flowserver scheme "
+                    "(mayflower or hdfs-mayflower)"
+                )
+            pods = self.topology.pods()
+            if self.config.controller_domains != len(pods):
+                raise ValueError(
+                    f"controller_domains={self.config.controller_domains} "
+                    f"must equal the pod count ({len(pods)}): domains are "
+                    f"pod-granular"
+                )
+            from repro.core.coordinator import GlobalCoordinator
+            from repro.core.domains import build_domain_flowservers
+
+            self.flowserver = None
+            self.domain_flowservers = build_domain_flowservers(
+                self.controller, self.routing, fs_config
+            )
+            self.coordinator = GlobalCoordinator(
+                self.controller, self.routing, self.domain_flowservers, fs_config
+            )
 
         # --- RPC fabric + data plane ------------------------------------
         self.fabric = RpcFabric(
@@ -145,6 +189,11 @@ class Cluster:
         )
         if self.flowserver is not None:
             self.fabric.register(CONTROLLER_ENDPOINT, "flowserver", self.flowserver)
+        elif self.coordinator is not None:
+            # The coordinator presents the same RPC surface (select,
+            # select_path_only, plan_replication_fanout), so planners
+            # talk to the sharded control plane unchanged.
+            self.fabric.register(CONTROLLER_ENDPOINT, "flowserver", self.coordinator)
 
         # --- filesystem servers -----------------------------------------
         placement_rng = streams.stream("placement")
@@ -171,7 +220,12 @@ class Cluster:
         db_dir = self.config.db_directory or Path(
             tempfile.mkdtemp(prefix="mayflower-ns-")
         )
-        if self.config.nameserver_replicas >= 3:
+        self.shard_map: Optional["ShardMap"] = None
+        self.partition_guards: List["PartitionGuard"] = []
+        self._partition_nameservers: List[Nameserver] = []
+        if self.config.metadata_partitions > 1:
+            self._build_partitioned_nameserver(db_dir, placement, streams)
+        elif self.config.nameserver_replicas >= 3:
             from repro.consensus import build_replicated_nameserver
 
             self.nameserver_endpoints = sorted(self.topology.hosts)[
@@ -203,6 +257,7 @@ class Cluster:
 
         # --- write pipeline: lease service ------------------------------
         self.lease_manager = None
+        self.lease_managers = []
         if self.config.write_pipeline:
             if self.config.fanout not in ("auto", "chain"):
                 raise ValueError(
@@ -217,13 +272,36 @@ class Cluster:
                 )
             from repro.fs.leases import LEASE_SERVICE, LeaseManager
 
-            self.lease_manager = LeaseManager(
-                self.loop, duration=self.config.lease_duration
-            )
-            self.fabric.register(
-                self.nameserver_host, LEASE_SERVICE, self.lease_manager
-            )
-            self.nameserver.lease_manager = self.lease_manager
+            if self.config.metadata_partitions > 1:
+                # One lease manager per partition, co-located with that
+                # partition's nameserver; dataservers route lease traffic
+                # by file name exactly like other metadata ops.
+                assert self.shard_map is not None
+                for index, partition_ns in enumerate(self._partition_nameservers):
+                    manager = LeaseManager(
+                        self.loop, duration=self.config.lease_duration
+                    )
+                    endpoint = self.shard_map.partitions[index][0]
+                    self.fabric.register(endpoint, LEASE_SERVICE, manager)
+                    partition_ns.lease_manager = manager
+                    self.lease_managers.append(manager)
+                self.lease_manager = self.lease_managers[0]
+            else:
+                self.lease_manager = LeaseManager(
+                    self.loop, duration=self.config.lease_duration
+                )
+                self.fabric.register(
+                    self.nameserver_host, LEASE_SERVICE, self.lease_manager
+                )
+                self.nameserver.lease_manager = self.lease_manager
+                self.lease_managers.append(self.lease_manager)
+
+        ns_router = None
+        if self.shard_map is not None:
+            shard_map = self.shard_map
+
+            def ns_router(name: str) -> str:
+                return shard_map.endpoints_for(name)[0]
 
         self.dataservers: Dict[str, Dataserver] = {}
         for host_id in sorted(self.topology.hosts):
@@ -236,6 +314,10 @@ class Cluster:
                 nameserver_endpoint=self.nameserver_host,
                 lease_endpoint=(
                     self.nameserver_host if self.lease_manager is not None else None
+                ),
+                nameserver_router=ns_router,
+                lease_router=(
+                    ns_router if self.lease_manager is not None else None
                 ),
             )
             self.dataservers[host_id] = ds
@@ -250,6 +332,12 @@ class Cluster:
         self.replica_manager = None
         self._heartbeat_senders = []
         if self.config.enable_replica_manager:
+            if self.config.metadata_partitions > 1:
+                raise ValueError(
+                    "enable_replica_manager requires metadata_partitions=1 "
+                    "(the membership tracker and repair loop talk to a "
+                    "single nameserver)"
+                )
             from repro.fs.membership import (
                 MEMBERSHIP_SERVICE,
                 HeartbeatSender,
@@ -289,6 +377,94 @@ class Cluster:
             )
 
     # ------------------------------------------------------------------
+    # Partitioned metadata plane
+    # ------------------------------------------------------------------
+
+    def _build_partitioned_nameserver(self, db_dir, placement, streams) -> None:
+        """Construct ``metadata_partitions`` consistent-hash shards.
+
+        Each partition is its own nameserver — a single instance, or a
+        Paxos group of ``nameserver_replicas`` members when that is
+        >= 3 — wrapped in a :class:`~repro.fs.shardmap.PartitionGuard`
+        that rejects misrouted names with the shard map's current epoch.
+        """
+        from repro.fs.shardmap import PartitionGuard, ShardMap
+
+        partitions = self.config.metadata_partitions
+        replicas = self.config.nameserver_replicas
+        hosts = sorted(self.topology.hosts)
+        if replicas == 1:
+            if partitions > len(hosts):
+                raise ValueError(
+                    f"metadata_partitions={partitions} needs at least that "
+                    f"many hosts, have {len(hosts)}"
+                )
+            groups = [(hosts[p],) for p in range(partitions)]
+        elif replicas >= 3:
+            if partitions * replicas > len(hosts):
+                raise ValueError(
+                    f"metadata_partitions={partitions} x nameserver_replicas"
+                    f"={replicas} needs {partitions * replicas} hosts, have "
+                    f"{len(hosts)}"
+                )
+            groups = [
+                tuple(hosts[p * replicas:(p + 1) * replicas])
+                for p in range(partitions)
+            ]
+        else:
+            raise ValueError(
+                "nameserver_replicas must be 1 or >= 3 (Paxos needs a majority)"
+            )
+        self.shard_map = ShardMap(epoch=1, partitions=tuple(groups))
+        self._ns_replicas = None
+        all_replicas: Dict[str, object] = {}
+        for index, group in enumerate(groups):
+            if replicas == 1:
+                ns = Nameserver(
+                    Path(db_dir) / f"partition-{index}",
+                    placement,
+                    rng=streams.stream(f"file-ids/p{index}"),
+                )
+                ns.clock = self.loop
+                self._partition_nameservers.append(ns)
+                guard = PartitionGuard(ns, index, self.shard_map)
+                self.fabric.register(group[0], "nameserver", guard)
+                self.partition_guards.append(guard)
+            else:
+                from repro.consensus import build_replicated_nameserver
+
+                group_replicas = build_replicated_nameserver(
+                    list(group),
+                    self.fabric,
+                    self.loop,
+                    placement_factory=lambda ep: placement,
+                    db_directory_factory=(
+                        lambda ep, p=index: Path(db_dir) / f"partition-{p}" / ep
+                    ),
+                    rng_factory=(
+                        lambda ep, p=index: streams.fork(
+                            f"ns-ids/p{p}/{ep}"
+                        ).stream("ids")
+                    ),
+                )
+                all_replicas.update(group_replicas)
+                self._partition_nameservers.append(group_replicas[group[0]])
+                for ep in group:
+                    # build_replicated_nameserver registered the bare
+                    # replica; re-register it behind the partition guard.
+                    self.fabric.unregister(ep, "nameserver")
+                    guard = PartitionGuard(
+                        group_replicas[ep], index, self.shard_map
+                    )
+                    self.fabric.register(ep, "nameserver", guard)
+                    self.partition_guards.append(guard)
+        if all_replicas:
+            self._ns_replicas = all_replicas
+        self.nameserver_endpoints = [ep for group in groups for ep in group]
+        self.nameserver_host = groups[0][0]
+        self.nameserver = self._partition_nameservers[0]
+
+    # ------------------------------------------------------------------
     # Client factory
     # ------------------------------------------------------------------
 
@@ -302,6 +478,13 @@ class Cluster:
             # backoff timing is reproducible, and independent per host so
             # co-failing clients never retry in lockstep.
             retry_rng = self._streams.stream(f"client-retry/{host_id}")
+        shard_router = None
+        if self.shard_map is not None:
+            from repro.fs.shardmap import ShardRouter
+
+            # Each client keeps its own cached copy of the shard map,
+            # refreshed on WrongPartitionError epoch bumps.
+            shard_router = ShardRouter(self.shard_map)
         return MayflowerClient(
             host_id=host_id,
             loop=self.loop,
@@ -313,6 +496,7 @@ class Cluster:
             retry_rng=retry_rng,
             write_pipeline=self.config.write_pipeline,
             fanout_planner=self._fanout_planner(),
+            shard_router=shard_router,
         )
 
     # ------------------------------------------------------------------
@@ -354,7 +538,9 @@ class Cluster:
             StaticChainFanoutPlanner,
         )
 
-        if self.config.fanout == "auto" and self.flowserver is not None:
+        if self.config.fanout == "auto" and (
+            self.flowserver is not None or self.coordinator is not None
+        ):
             return FlowserverFanoutPlanner(self.fabric, CONTROLLER_ENDPOINT)
         return StaticChainFanoutPlanner()
 
@@ -385,6 +571,8 @@ class Cluster:
         """Graceful shutdown (flushes the nameserver database(s))."""
         if self.flowserver is not None:
             self.flowserver.close()
+        if self.coordinator is not None:
+            self.coordinator.close()
         if self.replica_manager is not None:
             self.replica_manager.stop()
         for sender in self._heartbeat_senders:
@@ -392,5 +580,8 @@ class Cluster:
         if self._ns_replicas is not None:
             for replica in self._ns_replicas.values():
                 replica.close()
+        elif self._partition_nameservers:
+            for partition_ns in self._partition_nameservers:
+                partition_ns.close()
         else:
             self.nameserver.close()

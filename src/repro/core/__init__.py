@@ -19,11 +19,21 @@ route the read over).  This package implements:
 * :mod:`repro.core.adaptive_stats` — the opt-in adaptive collector:
   balanced per-flow polling points, per-flow fast/slow cadence, and
   switch-side delta push (``poll_mode="adaptive"``);
-* :mod:`repro.core.flowserver` — the service tying it all together.
+* :mod:`repro.core.flowserver` — the service tying it all together;
+* :mod:`repro.core.domains` — the sharded control plane's per-pod
+  :class:`DomainFlowserver` (a Flowserver scoped to one pod's links);
+* :mod:`repro.core.coordinator` — the :class:`GlobalCoordinator` that
+  places inter-pod reads from per-domain capacity summaries.
 """
 
 from repro.core.adaptive_stats import AdaptiveStatsCollector, AdaptiveStatsConfig
+from repro.core.coordinator import GlobalCoordinator
 from repro.core.cost import CostBreakdown, estimate_path_share, flow_cost
+from repro.core.domains import (
+    DomainFlowserver,
+    DomainSummary,
+    build_domain_flowservers,
+)
 from repro.core.flow_state import FlowStateTable, TrackedFlow
 from repro.core.flowserver import Assignment, Flowserver, FlowserverConfig, SelectionResult
 from repro.core.multireplica import MultiReplicaPlanner
@@ -36,15 +46,19 @@ __all__ = [
     "AdaptiveStatsConfig",
     "Assignment",
     "CostBreakdown",
+    "DomainFlowserver",
+    "DomainSummary",
     "FlowStateTable",
     "FlowStatsCollector",
     "Flowserver",
     "FlowserverConfig",
     "FlowserverWritePlacement",
+    "GlobalCoordinator",
     "MultiReplicaPlanner",
     "PathChoice",
     "SelectionResult",
     "TrackedFlow",
+    "build_domain_flowservers",
     "estimate_path_share",
     "flow_cost",
     "select_replica_and_path",

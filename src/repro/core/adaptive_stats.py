@@ -42,7 +42,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, Final, List, Optional, Set, Tuple
+from typing import Dict, Final, List, Optional, Set, Tuple, Union
 
 from repro.core.flow_state import FlowStateTable, TrackedFlow
 from repro.core.stats import (
@@ -53,8 +53,12 @@ from repro.core.stats import (
     PollRecord,
 )
 from repro.sdn.controller import Controller, SwitchUnreachableError
-from repro.sdn.openflow import CounterPush
-from repro.sdn.push import PUSH_MESSAGE_BYTES, DeltaPushService
+from repro.sdn.openflow import CounterPush, CounterPushBatch
+from repro.sdn.push import (
+    PUSH_MESSAGE_BYTES,
+    PUSH_REPORT_BYTES,
+    DeltaPushService,
+)
 from repro.sim import instrument
 from repro.sim.engine import EventLoop
 
@@ -690,31 +694,61 @@ class AdaptiveStatsCollector(FlowStatsCollector):
     # Push reconciliation
     # ------------------------------------------------------------------
 
-    def on_push(self, push: CounterPush) -> None:
-        """Reconcile one switch-initiated counter report.
+    def on_push(self, push: Union[CounterPush, CounterPushBatch]) -> None:
+        """Reconcile switch-initiated counter report(s).
 
-        Idempotent by construction: a duplicate or reordered push (stale
-        sequence number) is dropped before any state is touched, and a
-        fresh one advances the same cumulative-counter record polls use,
-        so the same byte delta can never be measured twice.
+        Idempotent by construction: a duplicate or reordered report
+        (stale sequence number) is dropped before any state is touched,
+        and a fresh one advances the same cumulative-counter record
+        polls use, so the same byte delta can never be measured twice.
+        A :class:`CounterPushBatch` counts as *one* message (that is the
+        whole point of coalescing) but each of its reports reconciles
+        through the same per-subscription sequence window.
         """
+        if isinstance(push, CounterPushBatch):
+            fresh: List[CounterPush] = []
+            for report in push.reports:
+                key = (report.switch_id, report.flow_id)
+                if report.seq <= self._push_seq_seen.get(key, 0):
+                    self.pushes_duplicate += 1
+                    continue
+                self._push_seq_seen[key] = report.seq
+                fresh.append(report)
+            if not fresh:
+                return
+            size = (
+                PUSH_MESSAGE_BYTES
+                + (len(push.reports) - 1) * PUSH_REPORT_BYTES
+            )
+            self._account_push_message(push.switch_id, size)
+            for report in fresh:
+                self._apply_push(report)
+            return
         key = (push.switch_id, push.flow_id)
         if push.seq <= self._push_seq_seen.get(key, 0):
             self.pushes_duplicate += 1
             return
         self._push_seq_seen[key] = push.seq
-        self.push_messages[push.switch_id] = (
-            self.push_messages.get(push.switch_id, 0) + 1
+        self._account_push_message(push.switch_id, PUSH_MESSAGE_BYTES)
+        self._apply_push(push)
+
+    def _account_push_message(self, switch_id: str, size_bytes: int) -> None:
+        """Count one channel crossing from ``switch_id``."""
+        self.push_messages[switch_id] = (
+            self.push_messages.get(switch_id, 0) + 1
         )
-        self.push_bytes[push.switch_id] = (
-            self.push_bytes.get(push.switch_id, 0) + PUSH_MESSAGE_BYTES
+        self.push_bytes[switch_id] = (
+            self.push_bytes.get(switch_id, 0) + size_bytes
         )
         tel = instrument.TELEMETRY
         if tel is not None:
-            labels = {"switch": push.switch_id}
+            labels = {"switch": switch_id}
             tel.count("flowserver_push_messages_total", labels=labels)
-            tel.count("flowserver_push_bytes_total", float(PUSH_MESSAGE_BYTES),
+            tel.count("flowserver_push_bytes_total", float(size_bytes),
                       labels=labels)
+
+    def _apply_push(self, push: CounterPush) -> None:
+        """Apply one seq-fresh report to the observation pipeline."""
         if push.flow_id not in self._state:
             self.pushes_ignored += 1
             return

@@ -1,0 +1,427 @@
+"""The global coordinator for the sharded control plane.
+
+With one :class:`~repro.core.domains.DomainFlowserver` per pod, some
+component must still answer the cross-pod questions: *which pod should
+this client read from, and over which core uplink?*  The
+:class:`GlobalCoordinator` is that component, and it is deliberately
+thin — instead of replicating the monolith's per-link state it composes
+per-domain :class:`~repro.core.domains.DomainSummary` digests (aggregate
+uplink/downlink capacity plus committed inter-pod bandwidth per
+destination pod) and scores candidate pods by pod-pair headroom.  The
+work per selection is O(pods + candidate paths), independent of the
+number of links or tracked flows, which is where the ≥3x decision
+throughput at 1024 hosts comes from.
+
+Division of labour per request:
+
+* client-local / intra-pod reads delegate wholesale to the client pod's
+  domain — the full Mayflower cost model runs there, unchanged;
+* inter-pod reads are placed here from summaries, then *registered* with
+  the source (replica-side) domain so its collector measures the flow
+  and its future intra-pod selections see the uplink load;
+* replication fan-out plans delegate to the primary replica's domain
+  (domains hold the full routing table, so relay trees may span pods).
+
+The coordinator also owns the sharded control plane's failure story:
+when it is partitioned away (``coordinator_partition`` fault, flipping
+:attr:`partitioned`), inter-pod reads degrade to the same salted-ECMP
+spread the Flowserver uses when its stats go stale — drawn from a
+separate hasher and sequence so fault-free runs consume nothing — while
+intra-pod placement continues at full fidelity inside each domain.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.domains import DomainFlowserver, DomainSummary
+from repro.core.fanout import FanoutPlan
+from repro.core.flow_state import TrackedFlow
+from repro.core.flowserver import (
+    Assignment,
+    FlowserverConfig,
+    SelectionResult,
+)
+from repro.net.ecmp import EcmpHasher
+from repro.net.routing import Path, RoutingTable
+from repro.sdn.controller import Controller
+from repro.sdn.openflow import FlowRemoved
+from repro.sim import instrument
+
+
+class GlobalCoordinator:
+    """Thin inter-pod placement layer over per-pod Flowserver domains.
+
+    Exposes the same RPC surface as the monolithic Flowserver
+    (``select`` / ``select_path_only`` / ``plan_replication_fanout``),
+    so clients, read planners and the experiment runner are agnostic to
+    whether they talk to a monolith or a sharded control plane.
+    """
+
+    def __init__(
+        self,
+        controller: Controller,
+        routing: RoutingTable,
+        domains: Dict[str, DomainFlowserver],
+        config: Optional[FlowserverConfig] = None,
+    ) -> None:
+        self._controller = controller
+        self._routing = routing
+        self.config = config or FlowserverConfig()
+        topology = controller.network.topology
+        missing = sorted(set(topology.pods()) - set(domains))
+        if missing:
+            raise ValueError(f"no domain for pods: {missing}")
+        self.domains: Dict[str, DomainFlowserver] = dict(
+            sorted(domains.items())
+        )
+        self._loop = controller.network.loop
+        self._pod_of_host = {
+            host_id: host.pod for host_id, host in topology.hosts.items()
+        }
+        self._capacities = {
+            lid: link.capacity_bps for lid, link in topology.links.items()
+        }
+        #: ``coordinator_partition`` fault flag: while set, inter-pod
+        #: selections bypass summary composition (the summaries would be
+        #: unreachable) and fall back to salted ECMP.
+        self.partitioned = False
+        # Coordinator-placed flow bookkeeping: flow id -> (src pod,
+        # dst pod, link ids), unwound on FlowRemoved so pair-flow and
+        # link-load pressure decay with the flows that caused it.
+        self._placed: Dict[str, Tuple[str, str, Tuple[str, ...]]] = {}
+        self._pair_flows: Dict[Tuple[str, str], int] = {}
+        self._link_load: Dict[str, int] = {}
+        self._flow_seq = itertools.count()
+        self._request_seq = itertools.count()
+        # Same degraded-mode discipline as the Flowserver: a dedicated
+        # hasher and sequence, drawn only when actually degraded, keep
+        # fault-free runs bit-identical.
+        self._degraded_hasher = EcmpHasher(salt=self.config.degraded_ecmp_salt)
+        self._ecmp_seq = itertools.count()
+        # Placement telemetry.
+        self.requests_served = 0
+        self.intra_pod_delegations = 0
+        self.inter_pod_selections = 0
+        self.degraded_selections = 0
+        self.fanout_requests = 0
+        controller.add_flow_removed_listener(self._on_flow_removed)
+        instrument.notify_component("coordinator", self)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Stop every domain's collector (idempotent)."""
+        for domain in self.domains.values():
+            domain.close()
+
+    def __enter__(self) -> "GlobalCoordinator":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # RPC surface (Flowserver-compatible)
+    # ------------------------------------------------------------------
+
+    def select(
+        self,
+        client: str,
+        replicas: Sequence[str],
+        size_bits: float,
+        job_id: Optional[str] = None,
+    ) -> SelectionResult:
+        """Select replica(s) and path(s) for a read request.
+
+        Intra-pod requests (any replica in the client's pod, including
+        the client itself) delegate to the client pod's domain; true
+        inter-pod requests are placed from composed domain summaries.
+        """
+        if not replicas:
+            raise ValueError("a read request needs at least one replica")
+        if size_bits <= 0:
+            raise ValueError(f"read size must be positive, got {size_bits}")
+        client_pod = self._pod_of_host.get(client)
+        if client_pod is None:
+            raise ValueError(f"unknown client host {client!r}")
+        self.requests_served += 1
+
+        local = [r for r in replicas if self._pod_of_host.get(r) == client_pod]
+        if local:
+            self.intra_pod_delegations += 1
+            self._count("coordinator_intra_pod_total")
+            return self.domains[client_pod].select(
+                client, local, size_bits, job_id=job_id
+            )
+
+        request_id = job_id or f"greq{next(self._request_seq)}"
+        if self.partitioned:
+            return self._fallback_select(request_id, client, replicas, size_bits)
+        return self._summary_select(
+            request_id, client, client_pod, replicas, size_bits
+        )
+
+    def select_path_only(
+        self,
+        client: str,
+        replica: str,
+        size_bits: float,
+        job_id: Optional[str] = None,
+    ) -> SelectionResult:
+        """Path selection for a pre-chosen replica (baseline mode)."""
+        return self.select(client, [replica], size_bits, job_id=job_id)
+
+    def plan_replication_fanout(
+        self,
+        writer: str,
+        replicas: Sequence[str],
+        size_bits: float,
+        job_id: Optional[str] = None,
+    ) -> FanoutPlan:
+        """Delegate fan-out planning to the primary replica's domain.
+
+        Domains hold the full routing table, so a relay tree spanning
+        pods plans fine; the primary's domain is the one whose collector
+        will watch the push flow, making it the natural owner.
+        """
+        if not replicas:
+            raise ValueError("an append needs at least one replica")
+        primary_pod = self._pod_of_host.get(replicas[0])
+        if primary_pod is None:
+            raise ValueError(f"unknown primary host {replicas[0]!r}")
+        self.fanout_requests += 1
+        return self.domains[primary_pod].plan_replication_fanout(
+            writer, replicas, size_bits, job_id=job_id
+        )
+
+    # ------------------------------------------------------------------
+    # Summary composition
+    # ------------------------------------------------------------------
+
+    def summaries(self) -> Dict[str, DomainSummary]:
+        """Fresh per-domain digests, keyed by pod (sorted)."""
+        return {pod: dom.summary() for pod, dom in self.domains.items()}
+
+    def pair_headroom(
+        self,
+        summaries: Dict[str, DomainSummary],
+        src_pod: str,
+        dst_pod: str,
+    ) -> float:
+        """Aggregate core-fabric headroom from ``src_pod`` to ``dst_pod``.
+
+        The min of the source pod's residual uplink capacity and the
+        destination pod's residual downlink capacity — the two points an
+        inter-pod flow can bottleneck on that per-pod state can see.
+        Inbound pressure on the destination is the sum of every domain's
+        outbound commitment toward it (pure composition, no link state).
+        """
+        src = summaries[src_pod]
+        dst = summaries[dst_pod]
+        inbound = sum(
+            s.outbound_bps.get(dst_pod, 0.0) for s in summaries.values()
+        )
+        up = src.uplink_capacity_bps - src.total_outbound_bps
+        down = dst.downlink_capacity_bps - inbound
+        return max(0.0, min(up, down))
+
+    def _summary_select(
+        self,
+        request_id: str,
+        client: str,
+        client_pod: str,
+        replicas: Sequence[str],
+        size_bits: float,
+    ) -> SelectionResult:
+        summaries = self.summaries()
+        scored: List[Tuple[float, str]] = []
+        for replica in replicas:
+            pod = self._pod_of_host.get(replica)
+            if pod is None:
+                continue
+            headroom = self.pair_headroom(summaries, pod, client_pod)
+            pressure = 1 + self._pair_flows.get((pod, client_pod), 0)
+            scored.append((headroom / pressure, replica))
+        if not scored:
+            raise ValueError(f"no known replica host in {replicas!r}")
+        # Highest effective headroom wins; exact ties resolve to the
+        # lexicographically smallest replica for determinism.
+        scored.sort(key=lambda s: (-s[0], s[1]))
+
+        for _, replica in scored:
+            candidates = self._routing.paths(replica, client)
+            healthy = [p for p in candidates if self._controller.path_is_up(p)]
+            if healthy:
+                path = min(
+                    healthy,
+                    key=lambda p: (
+                        sum(self._link_load.get(lid, 0) for lid in p.link_ids),
+                        p.link_ids,
+                    ),
+                )
+                return self._place(request_id, replica, path, size_bits)
+        # Every candidate's every path crosses an outage: same contract
+        # as the monolith — return an ECMP pick over the full pool, let
+        # the transfer abort and the client back off.
+        return self._fallback_select(request_id, client, replicas, size_bits)
+
+    def _place(
+        self,
+        request_id: str,
+        replica: str,
+        path: Path,
+        size_bits: float,
+    ) -> SelectionResult:
+        src_pod = self._pod_of_host[path.src]
+        dst_pod = self._pod_of_host[path.dst]
+        domain = self.domains[src_pod]
+        flow_id = f"gc-mf{next(self._flow_seq)}"
+        est_bw = min(self._capacities[lid] for lid in path.link_ids)
+        domain.state.add(
+            TrackedFlow(
+                flow_id=flow_id,
+                path_link_ids=path.link_ids,
+                size_bits=size_bits,
+                remaining_bits=size_bits,
+                bw_bps=est_bw,
+                job_id=request_id,
+            )
+        )
+        domain.state.set_bw(flow_id, est_bw, self._loop.now)
+        domain.collector.start()
+        self._placed[flow_id] = (src_pod, dst_pod, path.link_ids)
+        key = (src_pod, dst_pod)
+        self._pair_flows[key] = self._pair_flows.get(key, 0) + 1
+        for lid in path.link_ids:
+            self._link_load[lid] = self._link_load.get(lid, 0) + 1
+        self.inter_pod_selections += 1
+        tel = instrument.TELEMETRY
+        if tel is not None:
+            tel.count("coordinator_inter_pod_total")
+            tel.instant(
+                self._loop.now,
+                "coordinator.select",
+                "decision",
+                request=request_id,
+                replica=replica,
+                src_pod=src_pod,
+                dst_pod=dst_pod,
+                est_bw_bps=est_bw,
+            )
+        return SelectionResult(
+            request_id=request_id,
+            assignments=(
+                Assignment(
+                    flow_id=flow_id,
+                    replica=replica,
+                    path=path,
+                    size_bits=size_bits,
+                    est_bw_bps=est_bw,
+                ),
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # Degraded mode (coordinator partitioned / total outage)
+    # ------------------------------------------------------------------
+
+    def _fallback_select(
+        self,
+        request_id: str,
+        client: str,
+        replicas: Sequence[str],
+        size_bits: float,
+    ) -> SelectionResult:
+        """Salted-ECMP inter-pod spread, mirroring Flowserver demotion.
+
+        Used while :attr:`partitioned` (summaries unreachable) and when
+        no healthy path exists at all.  The flow is still registered
+        with the source domain so monitoring and cleanup keep working.
+        """
+        pool = self._routing.paths_from_replicas(list(replicas), client)
+        if not pool:
+            raise ValueError(
+                f"no network path from replicas {replicas!r} to {client!r}"
+            )
+        healthy = [p for p in pool if self._controller.path_is_up(p)]
+        if healthy:
+            pool = healthy
+        self.degraded_selections += 1
+        tel = instrument.TELEMETRY
+        if tel is not None:
+            tel.count("coordinator_degraded_selections_total")
+        seq = next(self._ecmp_seq)
+        sources = sorted({p.src for p in pool})
+        src = sources[seq % len(sources)]
+        same_src = [p for p in pool if p.src == src]
+        path = self._degraded_hasher.pick_for_flow(same_src, seq)
+        src_pod = self._pod_of_host[path.src]
+        domain = self.domains[src_pod]
+        flow_id = f"gc-mf{next(self._flow_seq)}"
+        est_bw = min(self._capacities[lid] for lid in path.link_ids)
+        domain.state.add(
+            TrackedFlow(
+                flow_id=flow_id,
+                path_link_ids=path.link_ids,
+                size_bits=size_bits,
+                remaining_bits=size_bits,
+                bw_bps=est_bw,
+                job_id=request_id,
+            )
+        )
+        domain.state.set_bw(flow_id, est_bw, self._loop.now)
+        domain.collector.start()
+        self._placed[flow_id] = (
+            src_pod,
+            self._pod_of_host.get(path.dst, src_pod),
+            path.link_ids,
+        )
+        return SelectionResult(
+            request_id=request_id,
+            assignments=(
+                Assignment(
+                    flow_id=flow_id,
+                    replica=path.src,
+                    path=path,
+                    size_bits=size_bits,
+                    est_bw_bps=est_bw,
+                ),
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _count(self, name: str) -> None:
+        tel = instrument.TELEMETRY
+        if tel is not None:
+            tel.count(name)
+
+    def _on_flow_removed(self, message: FlowRemoved) -> None:
+        placed = self._placed.pop(message.flow_id, None)
+        if placed is None:
+            return
+        src_pod, dst_pod, link_ids = placed
+        key = (src_pod, dst_pod)
+        left = self._pair_flows.get(key, 0) - 1
+        if left > 0:
+            self._pair_flows[key] = left
+        else:
+            self._pair_flows.pop(key, None)
+        for lid in link_ids:
+            remaining = self._link_load.get(lid, 0) - 1
+            if remaining > 0:
+                self._link_load[lid] = remaining
+            else:
+                self._link_load.pop(lid, None)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"GlobalCoordinator(domains={list(self.domains)}, "
+            f"partitioned={self.partitioned})"
+        )

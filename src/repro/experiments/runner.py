@@ -63,6 +63,10 @@ class SchemeRunConfig:
     monitor_interval: float = 1.0
     hedera_interval: float = 5.0
     max_sim_seconds: float = 100000.0
+    #: Sharded control plane: 1 (default) is the monolithic Flowserver;
+    #: a value equal to the pod count runs one DomainFlowserver per pod
+    #: behind a GlobalCoordinator (flowserver schemes only).
+    controller_domains: int = 1
 
 
 @dataclass
@@ -77,6 +81,10 @@ class ExperimentEnv:
     monitor: Optional[EndHostMonitor]
     hedera: Optional[HederaScheduler]
     scheme: Scheme
+    #: Sharded control plane (controller_domains > 1): the per-pod
+    #: domains and the coordinator fronting them; empty/None otherwise.
+    domain_flowservers: Dict[str, object] = field(default_factory=dict)
+    coordinator: Optional[object] = None
 
 
 def build_environment(
@@ -104,11 +112,27 @@ def build_environment(
         "sinbad-mayflower",
         "hdfs-mayflower",
     )
-    flowserver = (
-        Flowserver(controller, routing, config.flowserver)
-        if needs_flowserver
-        else None
-    )
+    flowserver: Optional[Flowserver] = None
+    domain_flowservers: Dict[str, object] = {}
+    coordinator = None
+    if needs_flowserver and config.controller_domains > 1:
+        from repro.core.coordinator import GlobalCoordinator
+        from repro.core.domains import build_domain_flowservers
+
+        pods = topo.pods()
+        if config.controller_domains != len(pods):
+            raise ValueError(
+                f"controller_domains={config.controller_domains} must equal "
+                f"the pod count ({len(pods)}): domains are pod-granular"
+            )
+        domain_flowservers = dict(
+            build_domain_flowservers(controller, routing, config.flowserver)
+        )
+        coordinator = GlobalCoordinator(
+            controller, routing, domain_flowservers, config.flowserver
+        )
+    elif needs_flowserver:
+        flowserver = Flowserver(controller, routing, config.flowserver)
 
     needs_monitor = scheme_name.startswith("sinbad")
     monitor = (
@@ -137,7 +161,9 @@ def build_environment(
     scheme = build_scheme(
         scheme_name,
         routing,
-        flowserver,
+        # The coordinator presents the Flowserver selection surface, so
+        # schemes run unchanged against the sharded control plane.
+        coordinator if coordinator is not None else flowserver,
         nearest_selector=nearest,
         sinbad_selector=sinbad,
         ecmp_salt=seed,
@@ -151,6 +177,8 @@ def build_environment(
         monitor=monitor,
         hedera=hedera,
         scheme=scheme,
+        domain_flowservers=domain_flowservers,
+        coordinator=coordinator,
     )
 
 
@@ -263,6 +291,8 @@ def run_scheme_on_workload(
         env.monitor.stop()
     if env.flowserver:
         env.flowserver.close()
+    if env.coordinator is not None:
+        env.coordinator.close()
     if env.hedera:
         env.hedera.stop()
 

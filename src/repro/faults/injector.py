@@ -18,6 +18,7 @@ from repro.faults.plan import FaultEvent, FaultPlan
 from repro.sim import instrument
 
 if TYPE_CHECKING:
+    from repro.core.coordinator import GlobalCoordinator
     from repro.core.stats import FlowStatsCollector
     from repro.sdn.push import DeltaPushService
     from repro.fs.dataserver import Dataserver
@@ -64,6 +65,10 @@ class FaultInjector:
         the revocation is a *full* one: the manager forgets the lease
         and the (still-running) holder cannot keep committing from its
         cache — its next commit re-acquires and sees the epoch bump.
+    coordinator:
+        Optional :class:`repro.core.coordinator.GlobalCoordinator`
+        (``coordinator_partition`` faults); ``None`` for monolithic
+        control planes, where those events no-op.
     """
 
     def __init__(
@@ -75,6 +80,7 @@ class FaultInjector:
         nameserver_endpoints: Optional[List[str]] = None,
         lease_manager: Optional["LeaseManager"] = None,
         dataservers: Optional[Dict[str, "Dataserver"]] = None,
+        coordinator: Optional["GlobalCoordinator"] = None,
     ) -> None:
         self._loop = loop
         self._controller = controller
@@ -83,6 +89,7 @@ class FaultInjector:
         self._ns_endpoints = list(nameserver_endpoints or [])
         self._lease_manager = lease_manager
         self._dataservers = dict(dataservers or {})
+        self._coordinator = coordinator
         self.events_applied = 0
         self.journal: List[AppliedEvent] = []
         self.flows_aborted_by_faults = 0
@@ -101,6 +108,7 @@ class FaultInjector:
             nameserver_endpoints=list(cluster.nameserver_endpoints),
             lease_manager=getattr(cluster, "lease_manager", None),
             dataservers=getattr(cluster, "dataservers", None),
+            coordinator=getattr(cluster, "coordinator", None),
         )
 
     def arm(self, plan: FaultPlan) -> int:
@@ -253,6 +261,18 @@ class FaultInjector:
 
     def _do_rpc_delay_restore(self, event: FaultEvent) -> str:
         self._fabric.delay_factor = 1.0
+        return ""
+
+    def _do_coordinator_partition(self, event: FaultEvent) -> str:
+        if self._coordinator is None:
+            return "no global coordinator (monolithic control plane); no-op"
+        self._coordinator.partitioned = True
+        return "inter-pod placement degraded to salted ECMP"
+
+    def _do_coordinator_heal(self, event: FaultEvent) -> str:
+        if self._coordinator is None:
+            return "no global coordinator (monolithic control plane); no-op"
+        self._coordinator.partitioned = False
         return ""
 
     def _do_lease_expire(self, event: FaultEvent) -> str:

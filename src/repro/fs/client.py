@@ -18,8 +18,9 @@ from typing import TYPE_CHECKING, Any, Dict, Generator, List, Optional, Sequence
 
 from repro.fs.chunks import DEFAULT_CHUNK_BYTES, DEFAULT_REPLICATION, FileMetadata
 from repro.fs.consistency import ConsistencyMode, replica_candidates_for_range
-from repro.fs.errors import InvalidRequestError
+from repro.fs.errors import InvalidRequestError, WrongPartitionError
 from repro.fs.retry import RetryPolicy
+from repro.fs.shardmap import NAME_ROUTED_METHODS, ShardMap, ShardRouter
 from repro.sim import instrument
 from repro.sim.engine import EventLoop
 from repro.sim.process import Delay, Process
@@ -132,6 +133,7 @@ class MayflowerClient:
         retry_rng: Optional[Random] = None,
         write_pipeline: bool = False,
         fanout_planner: Optional[WriteFanoutPlanner] = None,
+        shard_router: Optional[ShardRouter] = None,
     ) -> None:
         self.host_id = host_id
         self._loop = loop
@@ -159,6 +161,10 @@ class MayflowerClient:
         #: Fan-out shape strategy for pipelined appends; ``None`` makes
         #: the primary relay over the static metadata chain.
         self._fanout_planner = fanout_planner
+        #: Cached shard map for a partitioned nameserver; ``None`` (the
+        #: monolithic default) routes every call over ``_ns_endpoints``
+        #: exactly as before, with zero extra RPCs or draws.
+        self._shard_router = shard_router
         #: Monotonic source of client-unique append ids — the idempotence
         #: tokens the primary dedups retried appends with.
         self._append_seq = itertools.count()
@@ -632,8 +638,18 @@ class MayflowerClient:
         retry policy sets one) all trigger the failover.  With a retry
         policy, exhausted endpoint sweeps repeat after exponential
         backoff until attempts or the operation deadline run out.
+
+        With a shard router installed, name-routed calls sweep only the
+        owning partition's replica endpoints; a ``WrongPartitionError``
+        advertising a newer shard-map epoch triggers a map refetch from
+        the rejecting replica and one re-routed sweep.
         """
-        from repro.rpc.errors import HostDownError, RpcTimeout, ServiceNotFoundError
+        from repro.rpc.errors import (
+            HostDownError,
+            RemoteInvocationError,
+            RpcTimeout,
+            ServiceNotFoundError,
+        )
 
         policy = self._retry
         rpc_timeout = policy.rpc_timeout if policy is not None else None
@@ -653,30 +669,79 @@ class MayflowerClient:
                 delay = policy.backoff(round_index - 1, self._retry_rng)
                 if delay > 0:
                     yield Delay(delay)
-            for endpoint in self._ns_endpoints:
-                if deadline is not None and self._loop.now > deadline:
-                    from repro.fs.errors import OperationTimeoutError
+            refreshes_left = 1 if self._shard_router is not None else 0
+            sweep = True
+            while sweep:
+                sweep = False
+                for endpoint in self._ns_endpoints_for(method, args):
+                    if deadline is not None and self._loop.now > deadline:
+                        from repro.fs.errors import OperationTimeoutError
 
-                    raise OperationTimeoutError(
-                        f"nameserver {method!r} exceeded its "
-                        f"{policy.operation_deadline:.6g}s deadline: {last_error}"
-                    )
-                try:
-                    result = yield from self._fabric.invoke(
-                        self.host_id,
-                        endpoint,
-                        "nameserver",
-                        method,
-                        *args,
-                        rpc_timeout=rpc_timeout,
-                    )
-                    return result
-                except (HostDownError, ServiceNotFoundError, RpcTimeout) as err:
-                    last_error = err
-                    continue
+                        raise OperationTimeoutError(
+                            f"nameserver {method!r} exceeded its "
+                            f"{policy.operation_deadline:.6g}s deadline: "
+                            f"{last_error}"
+                        )
+                    try:
+                        result = yield from self._fabric.invoke(
+                            self.host_id,
+                            endpoint,
+                            "nameserver",
+                            method,
+                            *args,
+                            rpc_timeout=rpc_timeout,
+                        )
+                        return result
+                    except (HostDownError, ServiceNotFoundError, RpcTimeout) as err:
+                        last_error = err
+                        continue
+                    except RemoteInvocationError as err:
+                        remote = getattr(err, "remote_error", None)
+                        router = self._shard_router
+                        if (
+                            refreshes_left > 0
+                            and router is not None
+                            and isinstance(remote, WrongPartitionError)
+                            and remote.epoch > router.epoch
+                        ):
+                            # Cached map went stale (epoch bump): refetch
+                            # from the replica that rejected us — it is
+                            # demonstrably reachable — and re-route once.
+                            refreshes_left -= 1
+                            yield from self._refresh_shard_map(endpoint)
+                            sweep = True
+                            break
+                        raise
         raise HostDownError(
             f"no nameserver replica reachable for {method!r}: {last_error}"
         )
+
+    def _ns_endpoints_for(self, method: str, args: Sequence[Any]) -> List[str]:
+        """Endpoints to sweep for one nameserver call.
+
+        Name-routed methods consult the shard router (when installed);
+        everything else — and the monolithic default — uses the full
+        configured endpoint list.
+        """
+        if (
+            self._shard_router is not None
+            and method in NAME_ROUTED_METHODS
+            and args
+        ):
+            return self._shard_router.endpoints_for(str(args[0]))
+        return self._ns_endpoints
+
+    def _refresh_shard_map(self, endpoint: str) -> Generator:
+        """Refetch the shard map from ``endpoint`` and adopt it if newer."""
+        assert self._shard_router is not None
+        data = yield from self._fabric.invoke(
+            self.host_id, endpoint, "nameserver", "get_shard_map"
+        )
+        adopted = self._shard_router.install(ShardMap.from_json_dict(data))
+        if adopted:
+            tel = instrument.TELEMETRY
+            if tel is not None:
+                tel.count("client_shard_map_refreshes_total")
 
     def _plan_with_retry(
         self,

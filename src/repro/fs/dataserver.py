@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 from typing import (
     TYPE_CHECKING,
     Any,
+    Callable,
     Dict,
     Generator,
     Iterator,
@@ -143,6 +144,8 @@ class Dataserver:
         store_payload: bool = False,
         nameserver_endpoint: Optional[str] = None,
         lease_endpoint: Optional[str] = None,
+        nameserver_router: Optional[Callable[[str], str]] = None,
+        lease_router: Optional[Callable[[str], str]] = None,
     ) -> None:
         self.host_id = host_id
         self._loop = loop
@@ -154,6 +157,12 @@ class Dataserver:
         #: pipeline un-leased (metadata primaryship is trusted, as in the
         #: legacy single-phase append).
         self._lease_endpoint = lease_endpoint
+        #: Partitioned-nameserver routing: map a file *name* to the
+        #: endpoint of its owning metadata partition (and that
+        #: partition's lease service).  ``None`` — the monolithic
+        #: default — uses the scalar endpoints above unchanged.
+        self._nameserver_router = nameserver_router
+        self._lease_router = lease_router
         self._held_leases = HeldLeaseTable(loop)
         self._files: Dict[str, StoredFile] = {}
         self.appends_served = 0
@@ -284,10 +293,11 @@ class Dataserver:
                 yield proc
             # 4. Report the committed size to the nameserver so lookups see
             #    the new length (§3.3.1).
-            if self._nameserver is not None:
+            ns_endpoint = self._ns_endpoint_for(stored.metadata.name)
+            if ns_endpoint is not None:
                 yield from self._fabric.invoke(
                     self.host_id,
-                    self._nameserver,
+                    ns_endpoint,
                     "nameserver",
                     "record_append",
                     stored.metadata.name,
@@ -493,11 +503,12 @@ class Dataserver:
                 yield from self._relay_to_children(
                     stored, entry, relay_data, children, job_id
                 )
-                if self._nameserver is not None:
+                ns_endpoint = self._ns_endpoint_for(stored.metadata.name)
+                if ns_endpoint is not None:
                     try:
                         yield from self._fabric.invoke(
                             self.host_id,
-                            self._nameserver,
+                            ns_endpoint,
                             "nameserver",
                             "record_append",
                             stored.metadata.name,
@@ -687,6 +698,18 @@ class Dataserver:
         """
         return self._held_leases.revoke_all()
 
+    def _ns_endpoint_for(self, name: str) -> Optional[str]:
+        """The nameserver endpoint owning ``name``'s metadata shard."""
+        if self._nameserver_router is not None:
+            return self._nameserver_router(name)
+        return self._nameserver
+
+    def _lease_endpoint_for(self, name: str) -> Optional[str]:
+        """The lease service co-located with ``name``'s metadata shard."""
+        if self._lease_router is not None:
+            return self._lease_router(name)
+        return self._lease_endpoint
+
     def _ensure_lease(self, stored: StoredFile) -> Generator:
         """Validate this host's authority to order appends; returns epoch.
 
@@ -697,7 +720,8 @@ class Dataserver:
         leasing, metadata primaryship is the (unfenced) authority.
         """
         file_id = stored.metadata.file_id
-        if self._lease_endpoint is None:
+        lease_endpoint = self._lease_endpoint_for(stored.metadata.name)
+        if lease_endpoint is None:
             if stored.metadata.primary != self.host_id:
                 raise NotPrimaryError(
                     f"commit sent to non-primary {self.host_id} "
@@ -714,7 +738,7 @@ class Dataserver:
             try:
                 grant_dict = yield from self._fabric.invoke(
                     self.host_id,
-                    self._lease_endpoint,
+                    lease_endpoint,
                     LEASE_SERVICE,
                     "acquire",
                     file_id,

@@ -1,0 +1,185 @@
+"""Domain-scoped projection of a :class:`~repro.net.view.NetworkView`.
+
+The sharded control plane partitions the fat-tree into **controller
+domains** (one per pod).  Each domain's Flowserver must observe only its
+own slice of the fabric — the pod's internal links plus the pod's core
+uplinks — so that per-domain monitoring, selection and rate estimation
+stay O(pod) instead of O(fabric).
+
+:class:`ScopedNetworkView` is that slice: a read-only wrapper over any
+:class:`~repro.net.view.NetworkView` restricted to an explicit link-id
+scope.  It satisfies the same :pep:`544` protocol, so every existing
+view consumer (switch counters, telemetry probes, the rate engine's
+observation surface) works unchanged against a domain's view.
+
+Scoping is *link-granular*: ``topology`` still exposes the full static
+structure (ids must resolve globally — paths cross domains), but the
+dynamic surfaces (``active_flows``, ``flows_on_link``, utilization,
+ground-truth rates) only answer for in-scope links, and asking about an
+out-of-scope link is an error rather than a silent zero — a domain
+controller reaching outside its slice is a bug worth failing loudly on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Mapping, Sequence
+
+from repro.net.routing import Path
+from repro.net.topology import Tier, Topology
+from repro.net.view import FlowView, NetworkView
+
+
+def pod_scope_link_ids(topology: Topology, pod: str) -> FrozenSet[str]:
+    """The link-id scope of one pod's controller domain.
+
+    Covers every link whose *both* endpoints live in the pod (host access
+    links, edge↔agg trunks) plus the pod's agg↔core uplinks in both
+    directions — the boundary links a domain needs for its uplink
+    headroom summary.
+    """
+    if pod not in topology.pods():
+        raise ValueError(f"unknown pod {pod!r}")
+    members = {h.host_id for h in topology.hosts_in_pod(pod)}
+    members.update(
+        s.switch_id
+        for tier in (Tier.EDGE, Tier.AGGREGATION)
+        for s in topology.switches_in_tier(tier)
+        if s.pod == pod
+    )
+    cores = {s.switch_id for s in topology.switches_in_tier(Tier.CORE)}
+    scoped = set()
+    for link_id, link in topology.links.items():
+        if link.src in members and link.dst in members:
+            scoped.add(link_id)
+        elif link.src in members and link.dst in cores:
+            scoped.add(link_id)
+        elif link.src in cores and link.dst in members:
+            scoped.add(link_id)
+    return frozenset(scoped)
+
+
+class ScopedNetworkView:
+    """A :class:`NetworkView` restricted to an explicit link scope.
+
+    Parameters
+    ----------
+    inner:
+        The full-fabric view being sliced.
+    link_ids:
+        The links this scope may observe (see :func:`pod_scope_link_ids`).
+    label:
+        Diagnostic name (the pod id, for domain views).
+    """
+
+    def __init__(
+        self,
+        inner: NetworkView,
+        link_ids: FrozenSet[str],
+        label: str = "",
+    ) -> None:
+        unknown = sorted(link_ids - set(inner.topology.links))
+        if unknown:
+            raise ValueError(f"scope names unknown links: {unknown}")
+        self._inner = inner
+        self._scope = link_ids
+        self.label = label
+
+    # -- static structure ------------------------------------------------
+
+    @property
+    def topology(self) -> Topology:
+        return self._inner.topology
+
+    @property
+    def scope(self) -> FrozenSet[str]:
+        """The link ids this view may observe."""
+        return self._scope
+
+    def in_scope(self, link_id: str) -> bool:
+        return link_id in self._scope
+
+    def covers_path(self, path: Path) -> bool:
+        """Whether every hop of ``path`` lies inside this scope."""
+        return all(lid in self._scope for lid in path.link_ids)
+
+    # -- dynamic surfaces (NetworkView protocol) -------------------------
+
+    @property
+    def active_flows(self) -> Mapping[str, FlowView]:
+        """Live flows touching at least one in-scope link."""
+        return {
+            flow_id: flow
+            for flow_id, flow in self._inner.active_flows.items()
+            if any(lid in self._scope for lid in flow.path.link_ids)
+        }
+
+    def flows_on_link(self, link_id: str) -> Sequence[FlowView]:
+        self._check(link_id)
+        return self._inner.flows_on_link(link_id)
+
+    def link_utilization_bps(self, link_id: str) -> float:
+        self._check(link_id)
+        return self._inner.link_utilization_bps(link_id)
+
+    def link_is_up(self, link_id: str) -> bool:
+        self._check(link_id)
+        return self._inner.link_is_up(link_id)
+
+    def path_is_up(self, path: Path) -> bool:
+        # Liveness of a whole path is delegated, not scoped: a domain may
+        # legitimately ask about a path that exits its slice (inter-pod
+        # flows it sources), and up/down state is not load information.
+        return self._inner.path_is_up(path)
+
+    def snapshot_progress(self) -> None:
+        self._inner.snapshot_progress()
+
+    def ground_truth_rates(self) -> Dict[str, float]:
+        """Instantaneous rates of the in-scope flow population."""
+        scoped = self.active_flows
+        return {
+            flow_id: rate
+            for flow_id, rate in self._inner.ground_truth_rates().items()
+            if flow_id in scoped
+        }
+
+    # -- internals -------------------------------------------------------
+
+    def _check(self, link_id: str) -> None:
+        if link_id not in self._scope:
+            label = f" {self.label!r}" if self.label else ""
+            raise ValueError(
+                f"link {link_id!r} is outside controller domain{label}"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"ScopedNetworkView(label={self.label!r}, "
+            f"links={len(self._scope)})"
+        )
+
+
+def assert_scope_is_partition(
+    topology: Topology, scopes: Sequence[FrozenSet[str]]
+) -> List[str]:
+    """Check that pod scopes tile the fabric: every intra-pod link in
+    exactly one scope, uplinks shared only with their own pod.
+
+    Returns a list of problems (empty when the scopes are consistent);
+    used by tests and the cluster's wiring self-check.
+    """
+    problems: List[str] = []
+    cores = {s.switch_id for s in topology.switches_in_tier(Tier.CORE)}
+    counts: Dict[str, int] = {}
+    for scope in scopes:
+        for lid in scope:
+            counts[lid] = counts.get(lid, 0) + 1
+    for lid, link in sorted(topology.links.items()):
+        if link.src in cores and link.dst in cores:
+            continue
+        seen = counts.get(lid, 0)
+        if seen == 0:
+            problems.append(f"link {lid!r} not covered by any domain")
+        elif seen > 1:
+            problems.append(f"link {lid!r} covered by {seen} domains")
+    return problems

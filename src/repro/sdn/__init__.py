@@ -9,8 +9,11 @@ controller exactly as the paper runs it inside Floodlight.
 """
 
 from repro.sdn.controller import Controller, FlowRecord
+from repro.sdn.domain import DomainController
 from repro.sdn.flowtable import FlowTable, FlowTableEntry
 from repro.sdn.openflow import (
+    CounterPush,
+    CounterPushBatch,
     FlowModAdd,
     FlowModDelete,
     FlowRemoved,
@@ -20,6 +23,9 @@ from repro.sdn.openflow import (
 
 __all__ = [
     "Controller",
+    "CounterPush",
+    "CounterPushBatch",
+    "DomainController",
     "FlowModAdd",
     "FlowModDelete",
     "FlowRecord",

@@ -103,3 +103,20 @@ class CounterPush:
     timestamp: float
     bytes_sent: float
     remaining_bits: float
+
+
+@dataclass(frozen=True)
+class CounterPushBatch:
+    """Several same-switch counter reports coalesced into one message.
+
+    When multiple subscriptions on one switch cross their thresholds in
+    the same switch-local check interval, the switch sends a single
+    multi-flow message instead of one :class:`CounterPush` per flow —
+    the same records, one channel crossing.  Each report keeps its own
+    per-subscription ``seq`` so the collector reconciles them exactly as
+    it would individual pushes.
+    """
+
+    switch_id: str
+    timestamp: float
+    reports: Tuple[CounterPush, ...]

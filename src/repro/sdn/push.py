@@ -21,9 +21,9 @@ the backstop that keeps every flow observed within its cadence ceiling.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Callable, Dict, Optional
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Union
 
-from repro.sdn.openflow import CounterPush
+from repro.sdn.openflow import CounterPush, CounterPushBatch
 from repro.sim.engine import EventLoop, PeriodicTimer
 
 if TYPE_CHECKING:
@@ -33,6 +33,10 @@ if TYPE_CHECKING:
 #: report: a multipart header plus a single flow entry.  Sized like a
 #: one-flow OFPMP_FLOW reply — the push is the same record, unasked-for.
 PUSH_MESSAGE_BYTES = 100
+
+#: Marginal size (bytes) of each additional flow record in a coalesced
+#: multi-flow push: the entry body without the repeated message header.
+PUSH_REPORT_BYTES = 40
 
 
 @dataclass
@@ -69,8 +73,9 @@ class DeltaPushService:
         self,
         loop: EventLoop,
         controller: "Controller",
-        sink: Callable[[CounterPush], None],
+        sink: Callable[[Union[CounterPush, CounterPushBatch]], None],
         check_interval: float,
+        coalesce: bool = True,
     ) -> None:
         if check_interval <= 0:
             raise ValueError(
@@ -80,6 +85,11 @@ class DeltaPushService:
         self._controller = controller
         self._sink = sink
         self.check_interval = check_interval
+        #: Coalesce same-switch, same-interval threshold crossings into
+        #: one :class:`CounterPushBatch` instead of N single pushes.  A
+        #: single crossing still travels as a plain :class:`CounterPush`,
+        #: so the flag only matters under simultaneous crossings.
+        self.coalesce = coalesce
         #: switch id -> flow id -> registration
         self._regs: Dict[str, Dict[str, PushRegistration]] = {}
         #: Fault hook (``push_loss``): reports are generated but dropped.
@@ -87,6 +97,8 @@ class DeltaPushService:
         self.registrations_total = 0
         self.pushes_sent = 0
         self.pushes_lost = 0
+        self.batches_sent = 0
+        self.reports_coalesced = 0
         self.checks_run = 0
         self._timer: Optional[PeriodicTimer] = None
 
@@ -173,6 +185,7 @@ class DeltaPushService:
                 continue
             per_switch = self._regs[switch_id]
             switch = self._controller.switch(switch_id)
+            crossed: List[CounterPush] = []
             for stat in switch.flow_stats_for(sorted(per_switch)):
                 reg = per_switch[stat.flow_id]
                 delta = stat.bytes_sent - reg.last_reported_bytes
@@ -183,8 +196,7 @@ class DeltaPushService:
                 if self.suppress:
                     self.pushes_lost += 1
                     continue
-                self.pushes_sent += 1
-                self._sink(
+                crossed.append(
                     CounterPush(
                         switch_id=switch_id,
                         flow_id=stat.flow_id,
@@ -194,5 +206,24 @@ class DeltaPushService:
                         remaining_bits=stat.remaining_bits,
                     )
                 )
+            if not crossed:
+                continue
+            if self.coalesce and len(crossed) > 1:
+                # One channel crossing carries every report that fired
+                # in this check interval on this switch.
+                self.pushes_sent += 1
+                self.batches_sent += 1
+                self.reports_coalesced += len(crossed) - 1
+                self._sink(
+                    CounterPushBatch(
+                        switch_id=switch_id,
+                        timestamp=now,
+                        reports=tuple(crossed),
+                    )
+                )
+            else:
+                for push in crossed:
+                    self.pushes_sent += 1
+                    self._sink(push)
         if not self._regs:
             self.stop()

@@ -1,0 +1,256 @@
+"""Differential + end-to-end tests for the sharded control plane.
+
+Contract of the refactor: a 1-domain / 1-partition configuration IS the
+monolithic code path — fig. 4 and fig. 8 style runs must be bit-for-bit
+identical to the pinned pre-refactor fingerprints, and to an explicit
+``controller_domains=1, metadata_partitions=1`` configuration.  The
+multi-domain / multi-partition configurations must complete the same
+workloads end-to-end, route metadata through the shard map, and survive
+a ``coordinator_partition`` storm with every read completing.
+"""
+
+import hashlib
+import tempfile
+from pathlib import Path
+
+import pytest
+
+from repro.cluster import Cluster, ClusterConfig, run_cluster_workload
+from repro.experiments import figures
+from repro.experiments.runner import SchemeRunConfig, run_scheme_on_workload
+from repro.faults.plan import FaultEvent, FaultPlan
+from repro.net.topology import three_tier
+from repro.workload.generator import WorkloadConfig, generate_workload
+
+# Pinned on the monolithic tree immediately before the sharding refactor
+# (verified bit-identical against that HEAD).  If either digest moves,
+# the default configuration's behaviour changed — that is a regression,
+# not a test to update.
+FIG4_FINGERPRINT = (
+    "6e09064b5e4616ca0774c494b632766ae3d99462c92e4f78d8a8f89305afa668"
+)
+FIG8_FINGERPRINT = (
+    "7c4d84a31dcd8f1c3c18b11e6450f56a54ec085c51041b01e96d1056ff956d04"
+)
+
+
+def _digest(value) -> str:
+    return hashlib.sha256(repr(value).encode()).hexdigest()
+
+
+def sharded_config(**overrides) -> ClusterConfig:
+    base = dict(
+        controller_domains=4,
+        metadata_partitions=4,
+        db_directory=Path(tempfile.mkdtemp(prefix="mayflower-shard-")),
+    )
+    base.update(overrides)
+    return ClusterConfig(**base)
+
+
+# ---------------------------------------------------------------------------
+# Byte-identity of the default (single-domain, single-partition) path
+# ---------------------------------------------------------------------------
+
+
+def test_fig4_fingerprint_is_bit_identical_to_monolithic():
+    fig4 = figures.figure4(seed=3, num_jobs=25, num_files=12)
+    payload = {s: fig4["schemes"][s]["raw"] for s in sorted(fig4["schemes"])}
+    assert _digest(sorted(payload.items())) == FIG4_FINGERPRINT
+
+
+def test_fig8_fingerprint_is_bit_identical_to_monolithic():
+    durations = run_cluster_workload(
+        "mayflower", num_jobs=15, num_files=8, seed=6
+    )
+    assert _digest(durations) == FIG8_FINGERPRINT
+
+
+def test_explicit_single_domain_single_partition_is_the_default_path():
+    """controller_domains=1, metadata_partitions=1 == defaults, exactly."""
+    default = run_cluster_workload(
+        "mayflower", num_jobs=12, num_files=6, seed=9
+    )
+    explicit = run_cluster_workload(
+        "mayflower",
+        num_jobs=12,
+        num_files=6,
+        seed=9,
+        config=ClusterConfig(
+            seed=9,
+            controller_domains=1,
+            metadata_partitions=1,
+            db_directory=Path(tempfile.mkdtemp(prefix="mayflower-mono-")),
+        ),
+    )
+    assert default == explicit
+
+
+def test_single_domain_runner_matches_monolithic_selections():
+    topo = three_tier(pods=4, racks_per_pod=2, hosts_per_rack=2)
+    workload = generate_workload(topo, WorkloadConfig(num_jobs=30), seed=5)
+    mono = run_scheme_on_workload(
+        "mayflower", workload, SchemeRunConfig(topology=topo), seed=5
+    )
+    explicit = run_scheme_on_workload(
+        "mayflower",
+        workload,
+        SchemeRunConfig(topology=topo, controller_domains=1),
+        seed=5,
+    )
+    assert [
+        (r.job_id, r.replica_choices, r.completion_time) for r in mono
+    ] == [
+        (r.job_id, r.replica_choices, r.completion_time) for r in explicit
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Multi-domain / multi-partition end-to-end
+# ---------------------------------------------------------------------------
+
+
+def test_sharded_cluster_serves_reads_end_to_end():
+    cluster = Cluster(sharded_config(seed=11))
+    try:
+        client = cluster.client("pod2-rack1-h1")
+
+        def workload():
+            names = [f"/shard/file-{i}" for i in range(12)]
+            for name in names:
+                yield from client.create(name, replication=3)
+                yield from client.append(name, 64 * 1024)
+            sizes = []
+            for name in names:
+                result = yield from client.read(name)
+                sizes.append(result.file_size)
+            return sizes
+
+        sizes = cluster.run(workload())
+        assert sizes == [64 * 1024] * 12
+        coord = cluster.coordinator
+        assert coord is not None and coord.requests_served > 0
+        # both halves of the split control plane made decisions
+        assert coord.intra_pod_delegations + coord.inter_pod_selections > 0
+        # metadata landed across partitions, not all in one shard
+        populated = sum(
+            1 for ns in cluster._partition_nameservers if ns.list_files()
+        )
+        assert populated >= 2
+    finally:
+        cluster.shutdown()
+
+
+def test_sharded_workload_completes_with_paxos_partitions():
+    """Two shards, each a 3-replica Paxos group, behind the shard map."""
+    cluster = Cluster(
+        ClusterConfig(
+            seed=13,
+            metadata_partitions=2,
+            nameserver_replicas=3,
+            db_directory=Path(tempfile.mkdtemp(prefix="mayflower-pax-")),
+        )
+    )
+    try:
+        client = cluster.client("pod3-rack2-h1")
+
+        def scenario():
+            names = [f"/pax/file-{i}" for i in range(6)]
+            for name in names:
+                yield from client.create(name, replication=3)
+                yield from client.append(name, 16 * 1024)
+            sizes = []
+            for name in names:
+                result = yield from client.read(name)
+                sizes.append(result.file_size)
+            return sizes
+
+        sizes = cluster.run(scenario())
+        assert sizes == [16 * 1024] * 6
+        # each shard is a 3-endpoint paxos group and all agree on their
+        # own slice of the namespace
+        assert cluster.shard_map.num_partitions == 2
+        for index, group in enumerate(cluster.shard_map.partitions):
+            assert len(group) == 3
+            owned = [
+                n for n in (f"/pax/file-{i}" for i in range(6))
+                if cluster.shard_map.partition_for(n) == index
+            ]
+            for endpoint in group:
+                replica = cluster._ns_replicas[endpoint]
+                for name in owned:
+                    assert replica.lookup(name)["size_bytes"] == 16 * 1024
+    finally:
+        cluster.shutdown()
+
+
+def test_domain_count_must_match_pods():
+    with pytest.raises(ValueError):
+        Cluster(sharded_config(controller_domains=3))
+
+
+def test_replica_manager_requires_single_partition():
+    with pytest.raises(ValueError):
+        Cluster(sharded_config(enable_replica_manager=True))
+
+
+# ---------------------------------------------------------------------------
+# coordinator_partition storm: graceful degradation
+# ---------------------------------------------------------------------------
+
+
+def test_coordinator_partition_storm_all_reads_complete():
+    cluster = Cluster(sharded_config(seed=17))
+    try:
+        client = cluster.client("pod0-rack0-h0")
+
+        def setup():
+            for i in range(8):
+                name = f"/storm/file-{i}"
+                yield from client.create(name, replication=3)
+                yield from client.append(name, 32 * 1024)
+
+        cluster.run(setup())
+        # partition the coordinator for a window that covers the reads
+        plan = FaultPlan((
+            FaultEvent(
+                time=cluster.loop.now + 0.001,
+                kind="coordinator_partition",
+                duration=30.0,
+            ),
+        ))
+        injector = cluster.inject_faults(plan)
+
+        def reads():
+            sizes = []
+            for i in range(8):
+                result = yield from client.read(f"/storm/file-{i}")
+                sizes.append(result.file_size)
+            return sizes
+
+        sizes = cluster.run(reads())
+        assert sizes == [32 * 1024] * 8
+        assert injector.events_applied >= 1
+        coord = cluster.coordinator
+        # inter-pod reads issued during the outage went through the
+        # salted-ECMP fallback instead of failing
+        assert coord.degraded_selections > 0
+        assert any(
+            e.kind == "coordinator_partition" for e in injector.journal
+        )
+    finally:
+        cluster.shutdown()
+
+
+def test_monolithic_cluster_ignores_coordinator_partition():
+    """The fault is a no-op on clusters without a coordinator."""
+    durations = run_cluster_workload(
+        "mayflower",
+        num_jobs=8,
+        num_files=5,
+        seed=19,
+        fault_plan=FaultPlan((
+            FaultEvent(time=0.5, kind="coordinator_partition", duration=5.0),
+        )),
+    )
+    assert len(durations) == 8

@@ -1,0 +1,243 @@
+"""Sharded control plane: scoped views, per-pod domains, coordinator.
+
+The refactor's contract has three parts: (1) pod scopes partition every
+non-core link of the fat-tree, so no link is owned by two domains;
+(2) a DomainFlowserver is a full-fidelity Flowserver over its pod's
+links, with pod-prefixed flow ids that cannot collide across domains;
+(3) the GlobalCoordinator composes per-domain capacity summaries for
+inter-pod selection and degrades to salted ECMP when partitioned,
+mirroring the monolithic Flowserver's demotion discipline.
+"""
+
+import pytest
+
+from repro.core import FlowserverConfig
+from repro.core.coordinator import GlobalCoordinator
+from repro.core.domains import DomainFlowserver, build_domain_flowservers
+from repro.net import FlowNetwork, RoutingTable, three_tier
+from repro.net.scoped_view import (
+    ScopedNetworkView,
+    assert_scope_is_partition,
+    pod_scope_link_ids,
+)
+from repro.sdn import Controller
+from repro.sdn.domain import DomainController
+from repro.sim import EventLoop
+
+GB = 8e9
+
+
+def build_env(**topo_kwargs):
+    topo_kwargs.setdefault("pods", 4)
+    topo_kwargs.setdefault("racks_per_pod", 2)
+    topo_kwargs.setdefault("hosts_per_rack", 2)
+    topo = three_tier(**topo_kwargs)
+    loop = EventLoop()
+    net = FlowNetwork(loop, topo)
+    table = RoutingTable(topo)
+    controller = Controller(net)
+    return loop, net, table, controller
+
+
+# ---------------------------------------------------------------------------
+# Scoped views
+# ---------------------------------------------------------------------------
+
+
+def test_pod_scopes_partition_the_topology():
+    _, net, _, _ = build_env()
+    topo = net.topology
+    scopes = [pod_scope_link_ids(topo, pod) for pod in topo.pods()]
+    assert assert_scope_is_partition(topo, scopes) == []
+
+
+def test_pod_scopes_partition_larger_topologies():
+    _, net, _, _ = build_env(pods=6, racks_per_pod=3, hosts_per_rack=4)
+    topo = net.topology
+    scopes = [pod_scope_link_ids(topo, pod) for pod in topo.pods()]
+    assert assert_scope_is_partition(topo, scopes) == []
+
+
+def test_scoped_view_rejects_out_of_scope_links():
+    _, net, table, controller = build_env()
+    topo = net.topology
+    view = ScopedNetworkView(
+        controller.view, pod_scope_link_ids(topo, "pod0"), label="pod0"
+    )
+    in_scope = "pod0-rack0-h0->pod0-rack0"
+    out_of_scope = "pod1-rack0-h0->pod1-rack0"
+    assert view.link_utilization_bps(in_scope) == 0.0
+    with pytest.raises(ValueError):
+        view.link_utilization_bps(out_of_scope)
+    # liveness stays global: a domain must see remote outages to avoid
+    # planning doomed inter-pod paths
+    path = table.paths("pod1-rack0-h0", "pod1-rack0-h1")[0]
+    assert view.path_is_up(path)
+
+
+def test_unknown_pod_is_rejected():
+    _, net, _, _ = build_env()
+    with pytest.raises(ValueError):
+        pod_scope_link_ids(net.topology, "pod99")
+
+
+# ---------------------------------------------------------------------------
+# Domain flowservers
+# ---------------------------------------------------------------------------
+
+
+def test_domain_select_uses_pod_prefixed_flow_ids():
+    loop, net, table, controller = build_env()
+    domains = build_domain_flowservers(controller, table)
+    dom = domains["pod0"]
+    result = dom.select(
+        "pod0-rack0-h0", ["pod0-rack1-h0", "pod0-rack1-h1"], GB
+    )
+    assert result.assignments
+    assert all(a.flow_id.startswith("pod0-mf") for a in result.assignments)
+    for d in domains.values():
+        d.close()
+
+
+def test_domain_controller_scopes_edge_switches():
+    _, net, table, controller = build_env()
+    dc = DomainController(controller, "pod1")
+    assert dc.edge_switch_ids()
+    assert all(sid.startswith("pod1-") for sid in dc.edge_switch_ids())
+    assert dc.owns_host("pod1-rack0-h0")
+    assert not dc.owns_host("pod0-rack0-h0")
+
+
+def test_domain_summary_classifies_outbound_flows():
+    loop, net, table, controller = build_env()
+    domains = build_domain_flowservers(controller, table)
+    dom = domains["pod0"]
+    # intra-pod flow: no outbound contribution
+    dom.select("pod0-rack0-h0", ["pod0-rack1-h0"], GB)
+    summary = dom.summary()
+    assert summary.pod == "pod0"
+    assert summary.tracked_flows == 1
+    assert summary.outbound_bps == {}
+    # inter-pod flow sourced in pod0 (pod0 replica serving a pod1 client)
+    dom.select_path_only("pod1-rack0-h0", "pod0-rack0-h0", GB)
+    summary = dom.summary()
+    assert summary.tracked_flows == 2
+    assert "pod1" in summary.outbound_bps
+    assert summary.outbound_bps["pod1"] > 0
+    assert summary.uplink_capacity_bps > 0
+    for d in domains.values():
+        d.close()
+
+
+# ---------------------------------------------------------------------------
+# Global coordinator
+# ---------------------------------------------------------------------------
+
+
+def coordinator_env(**topo_kwargs):
+    loop, net, table, controller = build_env(**topo_kwargs)
+    domains = build_domain_flowservers(controller, table)
+    coord = GlobalCoordinator(controller, table, domains, FlowserverConfig())
+    return loop, net, table, controller, domains, coord
+
+
+def test_coordinator_requires_every_pod():
+    loop, net, table, controller = build_env()
+    domains = build_domain_flowservers(controller, table)
+    partial = {p: d for p, d in domains.items() if p != "pod3"}
+    with pytest.raises(ValueError):
+        GlobalCoordinator(controller, table, partial, FlowserverConfig())
+    for d in domains.values():
+        d.close()
+
+
+def test_intra_pod_requests_delegate_to_the_domain():
+    loop, net, table, controller, domains, coord = coordinator_env()
+    with coord:
+        result = coord.select(
+            "pod2-rack0-h0", ["pod2-rack1-h0", "pod1-rack0-h0"], GB
+        )
+        # a same-pod replica exists, so the pod2 domain owns the decision
+        assert coord.intra_pod_delegations == 1
+        assert coord.inter_pod_selections == 0
+        assert all(a.flow_id.startswith("pod2-mf") for a in result.assignments)
+        assert all(a.replica == "pod2-rack1-h0" for a in result.assignments)
+
+
+def test_inter_pod_selection_places_from_summaries():
+    loop, net, table, controller, domains, coord = coordinator_env()
+    with coord:
+        result = coord.select(
+            "pod0-rack0-h0", ["pod1-rack0-h0", "pod2-rack0-h0"], GB
+        )
+        assert coord.inter_pod_selections == 1
+        (a,) = result.assignments
+        assert a.flow_id.startswith("gc-mf")
+        assert a.path is not None
+        # registered in the source pod's domain so its collector (which
+        # polls that pod's edge switches) measures the flow
+        src_pod = a.replica.split("-")[0]
+        assert a.flow_id in domains[src_pod].state.flows
+
+
+def test_inter_pod_headroom_steers_away_from_loaded_pods():
+    loop, net, table, controller, domains, coord = coordinator_env()
+    with coord:
+        # saturate pod1's uplinks with committed outbound flows
+        for i in range(8):
+            coord.select(
+                f"pod3-rack0-h{i % 2}", ["pod1-rack0-h0"], 10 * GB
+            )
+        loaded = coord.select(
+            "pod0-rack0-h0", ["pod1-rack0-h0", "pod2-rack0-h0"], GB
+        )
+        # with pod1 saturated, the summary-driven score prefers pod2
+        assert loaded.assignments[0].replica == "pod2-rack0-h0"
+
+
+def test_partitioned_coordinator_degrades_to_salted_ecmp():
+    loop, net, table, controller, domains, coord = coordinator_env()
+    with coord:
+        coord.partitioned = True
+        result = coord.select(
+            "pod0-rack0-h0", ["pod1-rack0-h0", "pod2-rack0-h0"], GB
+        )
+        assert coord.degraded_selections == 1
+        assert coord.inter_pod_selections == 0
+        (a,) = result.assignments
+        assert a.path is not None and a.est_bw_bps > 0
+        # heal: placements go back through summaries
+        coord.partitioned = False
+        coord.select("pod0-rack0-h0", ["pod1-rack0-h0"], GB)
+        assert coord.inter_pod_selections == 1
+
+
+def test_degraded_selection_is_deterministic():
+    results = []
+    for _ in range(2):
+        loop, net, table, controller, domains, coord = coordinator_env()
+        with coord:
+            coord.partitioned = True
+            picks = [
+                coord.select(
+                    "pod0-rack0-h0", ["pod1-rack0-h0", "pod2-rack0-h0"], GB
+                ).assignments[0]
+                for _ in range(6)
+            ]
+            results.append(
+                [(a.replica, a.path.link_ids) for a in picks]
+            )
+    assert results[0] == results[1]
+
+
+def test_flow_removal_unwinds_coordinator_bookkeeping():
+    loop, net, table, controller, domains, coord = coordinator_env()
+    with coord:
+        result = coord.select("pod0-rack0-h0", ["pod1-rack0-h0"], GB / 100)
+        (a,) = result.assignments
+        assert coord._pair_flows
+        controller.start_transfer(a.flow_id, a.path, a.size_bits)
+        loop.run(until=30.0)
+        assert not coord._pair_flows
+        assert not coord._placed
+        assert a.flow_id not in domains["pod1"].state.flows
